@@ -1,0 +1,67 @@
+// Shared helpers for the experiment harnesses in bench/. Each binary prints
+// one paper table/figure; these helpers keep the training and evaluation
+// protocol identical across experiments.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/env_noc.h"
+#include "core/trainer.h"
+#include "rl/dqn.h"
+#include "util/table.h"
+
+namespace drlnoc::bench {
+
+/// DQN hyper-parameters used by every experiment (kept in one place so the
+/// tables are comparable).
+inline rl::DqnParams standard_dqn(std::uint64_t total_env_steps,
+                                  std::uint64_t seed = 7) {
+  rl::DqnParams dp;
+  dp.hidden = {64, 64};
+  dp.gamma = 0.9;
+  dp.lr = 1e-3;
+  dp.min_replay = 128;
+  dp.batch_size = 32;
+  dp.target_sync_every = 250;
+  dp.double_dqn = true;
+  dp.epsilon_decay_steps = total_env_steps * 3 / 4;
+  dp.seed = seed;
+  return dp;
+}
+
+/// Trains a fresh agent on `env` and returns it.
+inline std::unique_ptr<rl::DqnAgent> train_agent(core::NocConfigEnv& env,
+                                                 int episodes,
+                                                 std::uint64_t seed = 7) {
+  const auto steps = static_cast<std::uint64_t>(episodes) *
+                     static_cast<std::uint64_t>(env.params().epochs_per_episode);
+  auto agent = std::make_unique<rl::DqnAgent>(
+      env.state_size(), env.num_actions(), standard_dqn(steps, seed));
+  core::TrainParams tp;
+  tp.episodes = episodes;
+  tp.eval_every = 0;
+  core::train_dqn(env, *agent, tp);
+  return agent;
+}
+
+/// Appends one controller-comparison row.
+inline void result_row(util::Table& table, const core::EpisodeResult& r) {
+  table.row()
+      .cell(r.controller)
+      .cell(r.total_reward, 2)
+      .cell(r.mean_latency, 1)
+      .cell(r.p95_latency, 1)
+      .cell(r.mean_power_mw, 1)
+      .cell(r.mean_edp / 1e6, 3)
+      .cell(static_cast<long long>(r.backlog_end));
+}
+
+inline std::vector<std::string> result_headers() {
+  return {"controller", "reward",       "latency", "p95",
+          "power_mW",   "EDP(1e6pJcyc)", "backlog"};
+}
+
+}  // namespace drlnoc::bench

@@ -1,0 +1,88 @@
+// Example: spatially heterogeneous (per-router) configuration — the
+// extension hook for per-region self-configuration. Under hotspot traffic,
+// provisioning only the hotspot quadrant at full capability recovers most of
+// the latency of a fully provisioned NoC at a fraction of its static power.
+//
+//   ./build/examples/region_config rate=0.08
+#include <iostream>
+
+#include "noc/network.h"
+#include "noc/workload.h"
+#include "util/config.h"
+#include "util/table.h"
+
+using namespace drlnoc;
+
+namespace {
+
+struct Outcome {
+  double latency;
+  double p95;
+  double power;
+  double accepted;
+};
+
+Outcome run(const std::vector<noc::NocConfig>& configs, double rate,
+            std::uint64_t seed) {
+  noc::NetworkParams p;
+  p.width = p.height = 8;
+  p.seed = seed;
+  noc::Network net(p);
+  if (!configs.empty()) net.apply_per_router(configs);
+  noc::SteadyWorkload w =
+      noc::SteadyWorkload::make(net.topology(), "hotspot", rate);
+  net.run_epoch(&w, 2000);  // warm-up window, discarded
+  const noc::EpochStats s = net.run_epoch(&w, 6000);
+  return {s.avg_latency, s.p95_latency, s.avg_power_mw(2.0),
+          s.accepted_rate};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Config cfg = util::Config::from_args(argc, argv);
+  // Hotspot ejection bandwidth caps sustainable load near 0.03 on an 8x8
+  // mesh (4 hotspots x 50% targeted traffic); stay below the knee.
+  const double rate = cfg.get("rate", 0.02);
+  const std::uint64_t seed = 9;
+  const int n = 64;
+
+  const noc::NocConfig lean{1, 2, 3};
+  const noc::NocConfig full{4, 8, 3};
+
+  // The default hotspot block on an 8x8 mesh sits around the grid centre
+  // (nodes (3,3)..(4,4)); provision a 4x4 region around it.
+  std::vector<noc::NocConfig> region(n, lean);
+  for (int y = 2; y <= 5; ++y) {
+    for (int x = 2; x <= 5; ++x) {
+      region[static_cast<std::size_t>(y * 8 + x)] = full;
+    }
+  }
+
+  util::Table t({"provisioning", "latency", "p95", "power_mW", "accepted"});
+  const Outcome all_full = run(std::vector<noc::NocConfig>(n, full), rate, seed);
+  const Outcome all_lean = run(std::vector<noc::NocConfig>(n, lean), rate, seed);
+  const Outcome hotspot_region = run(region, rate, seed);
+
+  auto add = [&](const char* label, const Outcome& o) {
+    t.row()
+        .cell(label)
+        .cell(o.latency, 1)
+        .cell(o.p95, 1)
+        .cell(o.power, 1)
+        .cell(o.accepted, 4);
+  };
+  add("uniform full (static-max)", all_full);
+  add("hotspot region full, rest lean", hotspot_region);
+  add("uniform lean (static-min @ top clock)", all_lean);
+  t.print(std::cout);
+
+  std::cout << "\nregion power saving vs full: "
+            << util::fmt(100.0 * (1.0 - hotspot_region.power / all_full.power), 1)
+            << "%  |  latency cost: "
+            << util::fmt(hotspot_region.latency - all_full.latency, 1)
+            << " cycles\n"
+            << "Per-region configs use Network::apply_per_router(); VC "
+               "gating follows each link's *downstream* router.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Example: exploring the simulator substrate directly — sweep traffic
+// patterns on a chosen topology and print latency/throughput/power, without
+// any RL involvement. Useful to understand the network the controller rides.
+//
+//   ./build/examples/traffic_explorer topology=torus size=8 rate=0.08
+#include <iostream>
+
+#include "noc/simulator.h"
+#include "util/config.h"
+#include "util/table.h"
+
+using namespace drlnoc;
+
+int main(int argc, char** argv) {
+  const util::Config cfg = util::Config::from_args(argc, argv);
+  const std::string topology = cfg.get("topology", std::string("mesh"));
+  const int size = cfg.get("size", 8);
+  const double rate = cfg.get("rate", 0.05);
+
+  noc::NetworkParams p;
+  p.topology = topology;
+  p.width = p.height = size;
+  p.seed = cfg.get("seed", 1);
+  p.routing = cfg.get("routing", std::string("auto"));
+
+  std::cout << "traffic explorer: " << topology << " " << size << "x" << size
+            << ", rate " << rate << " pkt/node/cycle, routing " << p.routing
+            << "\n\n";
+
+  util::Table t({"pattern", "avg_lat", "p95_lat", "avg_hops", "accepted",
+                 "power_mW", "saturated"});
+  for (const char* pattern : {"uniform", "transpose", "bitcomp", "bitrev",
+                              "shuffle", "tornado", "neighbor", "hotspot"}) {
+    try {
+      const auto r = noc::measure_point(p, pattern, rate);
+      t.row()
+          .cell(pattern)
+          .cell(r.stats.avg_latency, 1)
+          .cell(r.stats.p95_latency, 1)
+          .cell(r.stats.avg_hops, 2)
+          .cell(r.stats.accepted_rate, 4)
+          .cell(r.stats.avg_power_mw(2.0), 1)
+          .cell(r.saturated ? "yes" : "no");
+    } catch (const std::exception& e) {
+      t.row().cell(pattern).cell(std::string("n/a: ") + e.what());
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nlocal patterns (neighbor) ride cheap; adversarial ones "
+               "(transpose/tornado) pay in hops and saturate earlier.\n";
+  return 0;
+}

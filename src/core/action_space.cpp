@@ -1,0 +1,72 @@
+#include "core/action_space.h"
+
+#include <algorithm>
+
+namespace drlnoc::core {
+
+ActionSpace::ActionSpace(std::vector<int> vc_options,
+                         std::vector<int> depth_options,
+                         std::vector<int> dvfs_options)
+    : vcs_(std::move(vc_options)), depths_(std::move(depth_options)),
+      dvfs_(std::move(dvfs_options)) {
+  if (vcs_.empty() || depths_.empty() || dvfs_.empty()) {
+    throw std::invalid_argument("ActionSpace: empty option list");
+  }
+  // Sorted options make action 0 the least capable configuration and the
+  // last action the most capable one (the escalation ladder relies on this).
+  std::sort(vcs_.begin(), vcs_.end());
+  std::sort(depths_.begin(), depths_.end());
+  std::sort(dvfs_.begin(), dvfs_.end());
+}
+
+ActionSpace ActionSpace::standard(int num_dvfs_levels) {
+  std::vector<int> dvfs(static_cast<std::size_t>(num_dvfs_levels));
+  for (int i = 0; i < num_dvfs_levels; ++i) dvfs[static_cast<std::size_t>(i)] = i;
+  return ActionSpace({1, 2, 4}, {2, 4, 8}, dvfs);
+}
+
+ActionSpace ActionSpace::standard_two_class(int num_dvfs_levels) {
+  std::vector<int> dvfs(static_cast<std::size_t>(num_dvfs_levels));
+  for (int i = 0; i < num_dvfs_levels; ++i) dvfs[static_cast<std::size_t>(i)] = i;
+  return ActionSpace({2, 4}, {2, 4, 8}, dvfs);
+}
+
+int ActionSpace::size() const {
+  return static_cast<int>(vcs_.size() * depths_.size() * dvfs_.size());
+}
+
+noc::NocConfig ActionSpace::decode(int action) const {
+  if (action < 0 || action >= size()) {
+    throw std::out_of_range("action index out of range");
+  }
+  const int nd = static_cast<int>(dvfs_.size());
+  const int ndepth = static_cast<int>(depths_.size());
+  noc::NocConfig c;
+  c.dvfs_level = dvfs_[static_cast<std::size_t>(action % nd)];
+  c.active_depth = depths_[static_cast<std::size_t>((action / nd) % ndepth)];
+  c.active_vcs = vcs_[static_cast<std::size_t>(action / (nd * ndepth))];
+  return c;
+}
+
+int ActionSpace::index_of(const noc::NocConfig& config) const {
+  auto find = [](const std::vector<int>& v, int x, const char* what) {
+    const auto it = std::find(v.begin(), v.end(), x);
+    if (it == v.end()) {
+      throw std::invalid_argument(std::string("config value not in action "
+                                              "space: ") + what);
+    }
+    return static_cast<int>(it - v.begin());
+  };
+  const int vi = find(vcs_, config.active_vcs, "vcs");
+  const int di = find(depths_, config.active_depth, "depth");
+  const int fi = find(dvfs_, config.dvfs_level, "dvfs");
+  const int nd = static_cast<int>(dvfs_.size());
+  const int ndepth = static_cast<int>(depths_.size());
+  return vi * nd * ndepth + di * nd + fi;
+}
+
+std::string ActionSpace::describe(int action) const {
+  return noc::to_string(decode(action));
+}
+
+}  // namespace drlnoc::core

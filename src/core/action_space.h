@@ -1,0 +1,44 @@
+// The factored configuration action space: the cartesian product of the
+// allowed VC counts, buffer depths and DVFS levels, flattened to a discrete
+// action index for the DQN.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "noc/network.h"
+
+namespace drlnoc::core {
+
+class ActionSpace {
+ public:
+  ActionSpace(std::vector<int> vc_options, std::vector<int> depth_options,
+              std::vector<int> dvfs_options);
+
+  /// The default space used across the experiments: VCs {1,2,4},
+  /// depth {2,4,8}, all DVFS levels — 36 actions.
+  static ActionSpace standard(int num_dvfs_levels = 4);
+  /// Torus/ring-safe variant (>= 2 VCs for the dateline classes).
+  static ActionSpace standard_two_class(int num_dvfs_levels = 4);
+
+  int size() const;
+  noc::NocConfig decode(int action) const;
+  int index_of(const noc::NocConfig& config) const;  ///< throws if absent
+  /// Index of the most/least capable configuration (max/min everything).
+  int max_action() const { return size() - 1; }
+  int min_action() const { return 0; }
+
+  const std::vector<int>& vc_options() const { return vcs_; }
+  const std::vector<int>& depth_options() const { return depths_; }
+  const std::vector<int>& dvfs_options() const { return dvfs_; }
+
+  std::string describe(int action) const;
+
+ private:
+  std::vector<int> vcs_;
+  std::vector<int> depths_;
+  std::vector<int> dvfs_;
+};
+
+}  // namespace drlnoc::core

@@ -1,0 +1,94 @@
+#include "core/env_noc.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "noc/simulator.h"
+
+namespace drlnoc::core {
+
+NocConfigEnv::NocConfigEnv(NocEnvParams params)
+    : params_(std::move(params)),
+      features_(params_.actions, params_.net.width * params_.net.height),
+      reward_(params_.reward) {
+  // Validate the action space against the hardware limits.
+  for (int a = 0; a < params_.actions.size(); ++a) {
+    const noc::NocConfig c = params_.actions.decode(a);
+    if (c.active_vcs > params_.net.max_vcs ||
+        c.active_depth > params_.net.max_depth) {
+      throw std::invalid_argument(
+          "action space exceeds physical resources: " + noc::to_string(c));
+    }
+  }
+  if (params_.phases.empty()) {
+    const auto topo = noc::make_topology(params_.net.topology,
+                                         params_.net.width,
+                                         params_.net.height);
+    params_.phases = noc::PhasedWorkload::standard_phases(*topo);
+  }
+  power_ref_mw_ = calibrate_power_ref();
+  reward_.set_power_ref(power_ref_mw_);
+}
+
+NocConfigEnv::~NocConfigEnv() = default;
+
+double NocConfigEnv::calibrate_power_ref() {
+  if (params_.reward.power_ref_mw > 0.0) return params_.reward.power_ref_mw;
+  // Reference = power of the *most capable* configuration under the
+  // workload's busiest phase; "power saving" numbers are relative to it.
+  noc::NetworkParams np = params_.net;
+  np.initial_config = params_.actions.decode(params_.actions.max_action());
+  noc::Network net(np, params_.power);
+  double max_rate = 0.0;
+  for (const noc::Phase& ph : params_.phases)
+    max_rate = std::max(max_rate, ph.rate);
+  noc::SteadyWorkload workload =
+      noc::SteadyWorkload::make(net.topology(), "uniform", max_rate);
+  net.run_epoch(&workload, 2000);  // warm-up, discard
+  const noc::EpochStats stats = net.run_epoch(&workload, 2000);
+  return std::max(1e-3, stats.avg_power_mw(params_.power.core_freq_ghz));
+}
+
+std::size_t NocConfigEnv::state_size() const {
+  return features_.state_size();
+}
+
+void NocConfigEnv::build_network() {
+  noc::NetworkParams np = params_.net;
+  if (!eval_mode_ && params_.reseed_each_episode) {
+    np.seed = params_.net.seed + 0x9e3779b9ULL * static_cast<std::uint64_t>(episode_);
+  }
+  workload_.reset();
+  net_ = std::make_unique<noc::Network>(np, params_.power);
+  workload_ = std::make_unique<noc::PhasedWorkload>(net_->topology(),
+                                                    params_.phases);
+  if (!eval_mode_ && params_.random_phase_offset) {
+    util::Rng offset_rng(np.seed ^ 0xabcdef123456ULL);
+    workload_->set_start_offset(offset_rng.uniform() *
+                                workload_->total_duration());
+  }
+}
+
+rl::State NocConfigEnv::reset() {
+  ++episode_;
+  epoch_in_episode_ = 0;
+  build_network();
+  features_.reset();
+  last_stats_ = net_->run_epoch(workload_.get(), params_.epoch_cycles);
+  return features_.extract(last_stats_);
+}
+
+rl::StepResult NocConfigEnv::step(int action) {
+  if (!net_) throw std::logic_error("step() before reset()");
+  net_->apply_config(params_.actions.decode(action));
+  last_stats_ = net_->run_epoch(workload_.get(), params_.epoch_cycles);
+  ++epoch_in_episode_;
+
+  rl::StepResult out;
+  out.reward = reward_.compute(last_stats_);
+  out.next_state = features_.extract(last_stats_);
+  out.done = epoch_in_episode_ >= params_.epochs_per_episode;
+  return out;
+}
+
+}  // namespace drlnoc::core

@@ -1,0 +1,78 @@
+// NocConfigEnv: the epoch-level MDP over the cycle-accurate simulator.
+// Each RL step = apply a configuration, simulate one epoch, observe features,
+// receive the energy/latency reward. This is the glue between the RL
+// substrate and the NoC substrate — the system the paper trains.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/action_space.h"
+#include "core/features.h"
+#include "core/reward.h"
+#include "noc/network.h"
+#include "noc/workload.h"
+#include "rl/env.h"
+
+namespace drlnoc::core {
+
+struct NocEnvParams {
+  noc::NetworkParams net{};
+  noc::PowerParams power{};
+  ActionSpace actions = ActionSpace::standard();
+  std::vector<noc::Phase> phases{};  ///< empty => PhasedWorkload::standard
+  std::uint64_t epoch_cycles = 512;  ///< router cycles per epoch
+  int epochs_per_episode = 48;
+  RewardParams reward{};
+  std::uint64_t seed = 1;
+  /// When true (default) each reset() reseeds the traffic so the agent
+  /// cannot overfit one arrival sequence.
+  bool reseed_each_episode = true;
+  /// When true (default), training episodes start at a random point of the
+  /// phased workload; evaluation (see evaluate()) always starts at phase 0.
+  bool random_phase_offset = true;
+};
+
+class NocConfigEnv : public rl::Environment {
+ public:
+  explicit NocConfigEnv(NocEnvParams params);
+  ~NocConfigEnv() override;
+
+  std::string name() const override { return "noc_config"; }
+  std::size_t state_size() const override;
+  int num_actions() const override { return params_.actions.size(); }
+  rl::State reset() override;
+  rl::StepResult step(int action) override;
+
+  /// Evaluation mode: fixed traffic seed and phase offset 0, so different
+  /// controllers see byte-identical workloads. evaluate() toggles this.
+  void set_eval_mode(bool eval) { eval_mode_ = eval; }
+  bool eval_mode() const { return eval_mode_; }
+
+  const ActionSpace& actions() const { return params_.actions; }
+  const RewardFunction& reward() const { return reward_; }
+  const NocEnvParams& params() const { return params_; }
+  /// Stats of the epoch the last step() simulated.
+  const noc::EpochStats& last_stats() const { return last_stats_; }
+  int episode() const { return episode_; }
+  /// The auto-calibrated power normalizer (max-config power at the
+  /// workload's busiest phase), in mW.
+  double power_ref_mw() const { return power_ref_mw_; }
+
+ private:
+  void build_network();
+  double calibrate_power_ref();
+
+  NocEnvParams params_;
+  FeatureExtractor features_;
+  RewardFunction reward_;
+  std::unique_ptr<noc::Network> net_;
+  std::unique_ptr<noc::PhasedWorkload> workload_;
+  noc::EpochStats last_stats_{};
+  int episode_ = 0;
+  int epoch_in_episode_ = 0;
+  double power_ref_mw_ = 0.0;
+  bool eval_mode_ = false;
+};
+
+}  // namespace drlnoc::core

@@ -1,0 +1,48 @@
+#include "core/reward.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace drlnoc::core {
+
+RewardFunction::Breakdown RewardFunction::breakdown(
+    const noc::EpochStats& stats) const {
+  Breakdown b;
+
+  // Latency: squashed so saturated epochs don't dominate the scale; an
+  // epoch with no completed packets is treated as fully saturated.
+  double lat_norm;
+  if (stats.packets_received == 0 && stats.packets_offered > 0) {
+    lat_norm = 1.0;
+  } else {
+    const double l = stats.avg_latency / params_.latency_ref;
+    lat_norm = l / (l + 1.0);  // in [0, 1)
+  }
+  b.latency_term = params_.w_latency * lat_norm;
+
+  const double power = stats.avg_power_mw(params_.core_freq_ghz);
+  const double ref = params_.power_ref_mw > 0.0 ? params_.power_ref_mw : 1.0;
+  b.power_term = params_.w_power * std::min(2.0, power / ref);
+
+  // Saturation: offered load the network failed to carry, plus standing
+  // backlog (so the agent cannot park packets at the sources for free).
+  double sat = 0.0;
+  if (stats.offered_rate > 1e-9) {
+    sat = std::max(0.0, stats.offered_rate - stats.accepted_rate) /
+          stats.offered_rate;
+  }
+  const double backlog_pressure =
+      static_cast<double>(stats.source_queue_total) /
+      std::max<double>(1.0, static_cast<double>(stats.packets_offered) + 1.0);
+  sat = std::min(1.0, sat + 0.5 * std::min(1.0, backlog_pressure));
+  b.saturation_term = params_.w_saturation * sat;
+
+  b.reward = -(b.latency_term + b.power_term + b.saturation_term);
+  return b;
+}
+
+double RewardFunction::compute(const noc::EpochStats& stats) const {
+  return breakdown(stats).reward;
+}
+
+}  // namespace drlnoc::core

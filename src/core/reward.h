@@ -1,0 +1,42 @@
+// The self-configuration reward: a negated weighted energy/latency objective
+// with a saturation penalty. Normalizers are fixed references so rewards are
+// comparable across epochs and configurations.
+#pragma once
+
+#include "noc/network.h"
+
+namespace drlnoc::core {
+
+struct RewardParams {
+  double w_latency = 1.0;
+  double w_power = 1.0;
+  double w_saturation = 4.0;
+  double latency_ref = 60.0;   ///< core cycles; typical low-load latency
+  double power_ref_mw = 0.0;   ///< 0 => auto-calibrated by the environment
+  double core_freq_ghz = 2.0;
+};
+
+class RewardFunction {
+ public:
+  explicit RewardFunction(RewardParams params) : params_(params) {}
+
+  const RewardParams& params() const { return params_; }
+  void set_power_ref(double mw) { params_.power_ref_mw = mw; }
+
+  /// Reward for one epoch. Typically in [-w_lat - w_pow - w_sat, 0).
+  double compute(const noc::EpochStats& stats) const;
+
+  /// Components, for inspection / reward-weight ablation (T3).
+  struct Breakdown {
+    double latency_term = 0.0;     ///< already weighted, >= 0
+    double power_term = 0.0;
+    double saturation_term = 0.0;
+    double reward = 0.0;
+  };
+  Breakdown breakdown(const noc::EpochStats& stats) const;
+
+ private:
+  RewardParams params_;
+};
+
+}  // namespace drlnoc::core

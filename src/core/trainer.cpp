@@ -1,0 +1,123 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <iostream>
+
+namespace drlnoc::core {
+
+EpisodeResult evaluate(NocConfigEnv& env, Controller& controller,
+                       bool keep_epochs) {
+  EpisodeResult out;
+  out.controller = controller.name();
+  controller.begin_episode();
+
+  env.set_eval_mode(true);
+  rl::State state = env.reset();
+  noc::EpochStats stats = env.last_stats();
+  const double core_freq = env.params().power.core_freq_ghz;
+
+  double latency_weighted = 0.0;
+  double power_time = 0.0;
+  double edp_sum = 0.0;
+  double time_sum = 0.0;
+  std::uint64_t packets = 0, offered = 0;
+  double node_cycles = 0.0;
+  int epochs = 0;
+
+  bool done = false;
+  while (!done) {
+    const int action = controller.decide(stats, state);
+    const rl::StepResult r = env.step(action);
+    stats = env.last_stats();
+    state = r.next_state;
+    done = r.done;
+
+    out.total_reward += r.reward;
+    latency_weighted +=
+        stats.avg_latency * static_cast<double>(stats.packets_received);
+    packets += stats.packets_received;
+    offered += stats.packets_offered;
+    power_time += stats.avg_power_mw(core_freq) * stats.core_cycles;
+    time_sum += stats.core_cycles;
+    edp_sum += stats.edp();
+    node_cycles += stats.core_cycles *
+                   static_cast<double>(env.params().net.width *
+                                       env.params().net.height);
+    out.p95_latency = std::max(out.p95_latency, stats.p95_latency);
+    out.backlog_end = stats.source_queue_total;
+    if (keep_epochs) out.epochs.push_back(stats);
+    out.actions.push_back(action);
+    ++epochs;
+  }
+
+  env.set_eval_mode(false);
+  out.mean_latency =
+      packets > 0 ? latency_weighted / static_cast<double>(packets) : 0.0;
+  out.mean_power_mw = time_sum > 0.0 ? power_time / time_sum : 0.0;
+  out.mean_edp = epochs > 0 ? edp_sum / epochs : 0.0;
+  out.offered_rate =
+      node_cycles > 0.0 ? static_cast<double>(offered) / node_cycles : 0.0;
+  out.accepted_rate =
+      node_cycles > 0.0 ? static_cast<double>(packets) / node_cycles : 0.0;
+  return out;
+}
+
+TrainResult train_dqn(NocConfigEnv& env, rl::DqnAgent& agent,
+                      const TrainParams& params) {
+  TrainResult result;
+  for (int ep = 0; ep < params.episodes; ++ep) {
+    rl::State state = env.reset();
+    double ep_return = 0.0;
+    double loss_sum = 0.0;
+    int loss_count = 0;
+    bool done = false;
+    while (!done) {
+      const int action = agent.act(state);
+      const rl::StepResult r = env.step(action);
+      rl::Transition t;
+      t.state = state;
+      t.action = action;
+      t.reward = r.reward;
+      t.next_state = r.next_state;
+      t.done = r.done;
+      if (const auto loss = agent.observe(t)) {
+        loss_sum += *loss;
+        ++loss_count;
+      }
+      ep_return += r.reward;
+      state = r.next_state;
+      done = r.done;
+    }
+    result.episode_returns.push_back(ep_return);
+    result.episode_loss.push_back(loss_count ? loss_sum / loss_count : 0.0);
+
+    if (params.eval_every > 0 && (ep + 1) % params.eval_every == 0) {
+      DrlController greedy(env.actions(), agent);
+      const EpisodeResult eval = evaluate(env, greedy);
+      result.eval_rewards.push_back(eval.total_reward);
+      result.eval_episodes.push_back(ep + 1);
+      if (params.verbose) {
+        std::cout << "episode " << ep + 1 << " return=" << ep_return
+                  << " eval=" << eval.total_reward
+                  << " eps=" << agent.epsilon() << '\n';
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<EpisodeResult> sweep_static(NocConfigEnv& env) {
+  std::vector<EpisodeResult> results;
+  for (int a = 0; a < env.actions().size(); ++a) {
+    StaticController controller(env.actions(), a,
+                                "static[" + env.actions().describe(a) + "]");
+    results.push_back(evaluate(env, controller));
+  }
+  std::sort(results.begin(), results.end(),
+            [](const EpisodeResult& x, const EpisodeResult& y) {
+              return x.mean_edp < y.mean_edp;
+            });
+  return results;
+}
+
+}  // namespace drlnoc::core

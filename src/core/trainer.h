@@ -1,0 +1,59 @@
+// Training and evaluation protocol:
+//   * train_dqn      — online DQN training across episodes of the epoch MDP,
+//                      producing the learning curve (F3)
+//   * evaluate       — one greedy / frozen-policy episode under any
+//                      Controller, producing the comparison metrics (T1, T2)
+//   * find_best_static — oracle sweep over all static configurations
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/env_noc.h"
+#include "rl/dqn.h"
+
+namespace drlnoc::core {
+
+/// Aggregate metrics for one evaluated episode.
+struct EpisodeResult {
+  std::string controller;
+  double total_reward = 0.0;
+  double mean_latency = 0.0;      ///< packet-weighted mean over epochs
+  double p95_latency = 0.0;       ///< max epoch p95 (worst window)
+  double mean_power_mw = 0.0;     ///< time-weighted mean
+  double mean_edp = 0.0;          ///< mean epoch EDP
+  double offered_rate = 0.0;
+  double accepted_rate = 0.0;
+  std::uint64_t backlog_end = 0;
+  std::vector<noc::EpochStats> epochs;  ///< per-epoch detail (F4 timeline)
+  std::vector<int> actions;             ///< chosen action per epoch
+};
+
+/// Runs one episode with `controller` choosing configurations; no learning.
+EpisodeResult evaluate(NocConfigEnv& env, Controller& controller,
+                       bool keep_epochs = false);
+
+struct TrainParams {
+  int episodes = 40;
+  int eval_every = 10;       ///< 0 disables periodic greedy evals
+  bool verbose = false;
+};
+
+struct TrainResult {
+  std::vector<double> episode_returns;  ///< training return per episode
+  std::vector<double> episode_loss;     ///< mean TD loss per episode
+  std::vector<double> eval_rewards;     ///< greedy return at eval points
+  std::vector<int> eval_episodes;       ///< episode index of each eval
+};
+
+/// Trains `agent` on `env` for `params.episodes` episodes.
+TrainResult train_dqn(NocConfigEnv& env, rl::DqnAgent& agent,
+                      const TrainParams& params);
+
+/// Evaluates every static configuration for one episode and returns results
+/// sorted by mean EDP (oracle-static baseline; element 0 is the oracle).
+std::vector<EpisodeResult> sweep_static(NocConfigEnv& env);
+
+}  // namespace drlnoc::core

@@ -1,0 +1,303 @@
+#include "nn/layers.h"
+
+#include <cassert>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace drlnoc::nn {
+
+Linear::Linear(std::size_t in, std::size_t out)
+    : w_(in, out), b_(1, out), gw_(in, out), gb_(1, out) {}
+
+void Linear::init_he(util::Rng& rng) {
+  const double bound = std::sqrt(6.0 / static_cast<double>(w_.rows()));
+  for (double& v : w_.raw()) v = rng.uniform(-bound, bound);
+  b_.fill(0.0);
+}
+
+void Linear::init_xavier(util::Rng& rng) {
+  const double bound =
+      std::sqrt(6.0 / static_cast<double>(w_.rows() + w_.cols()));
+  for (double& v : w_.raw()) v = rng.uniform(-bound, bound);
+  b_.fill(0.0);
+}
+
+Matrix Linear::forward(const Matrix& x) {
+  assert(x.cols() == w_.rows());
+  cache_x_ = x;
+  Matrix y = matmul(x, w_);
+  add_row_inplace(y, b_);
+  return y;
+}
+
+Matrix Linear::backward(const Matrix& grad_out) {
+  assert(grad_out.rows() == cache_x_.rows() && grad_out.cols() == w_.cols());
+  gw_ += matmul_tn(cache_x_, grad_out);
+  gb_ += column_sums(grad_out);
+  return matmul_nt(grad_out, w_);
+}
+
+void Linear::zero_grads() {
+  gw_.fill(0.0);
+  gb_.fill(0.0);
+}
+
+std::unique_ptr<Layer> Linear::clone() const {
+  auto copy = std::make_unique<Linear>(w_.rows(), w_.cols());
+  copy->w_ = w_;
+  copy->b_ = b_;
+  return copy;
+}
+
+Matrix ReLU::forward(const Matrix& x) {
+  cache_x_ = x;
+  Matrix y = x;
+  for (double& v : y.raw()) v = v > 0.0 ? v : 0.0;
+  return y;
+}
+
+Matrix ReLU::backward(const Matrix& grad_out) {
+  assert(grad_out.rows() == cache_x_.rows());
+  Matrix g = grad_out;
+  for (std::size_t i = 0; i < g.raw().size(); ++i) {
+    if (cache_x_.raw()[i] <= 0.0) g.raw()[i] = 0.0;
+  }
+  return g;
+}
+
+Matrix Tanh::forward(const Matrix& x) {
+  Matrix y = x;
+  for (double& v : y.raw()) v = std::tanh(v);
+  cache_y_ = y;
+  return y;
+}
+
+Matrix Tanh::backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  for (std::size_t i = 0; i < g.raw().size(); ++i) {
+    const double y = cache_y_.raw()[i];
+    g.raw()[i] *= 1.0 - y * y;
+  }
+  return g;
+}
+
+DuelingHead::DuelingHead(std::size_t in, std::size_t actions)
+    : value_(in, 1), advantage_(in, actions) {}
+
+void DuelingHead::init_he(util::Rng& rng) {
+  value_.init_he(rng);
+  advantage_.init_he(rng);
+}
+
+Matrix DuelingHead::forward(const Matrix& x) {
+  const Matrix v = value_.forward(x);        // (batch, 1)
+  const Matrix a = advantage_.forward(x);    // (batch, n)
+  Matrix q = a;
+  const auto n = static_cast<double>(a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double mean = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) mean += a.at(r, c);
+    mean /= n;
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      q.at(r, c) = v.at(r, 0) + a.at(r, c) - mean;
+    }
+  }
+  return q;
+}
+
+Matrix DuelingHead::backward(const Matrix& grad_out) {
+  // q_rc = v_r + a_rc - mean_c(a_r) =>
+  //   dv_r  = sum_c dq_rc
+  //   da_rc = dq_rc - mean_c(dq_r)
+  Matrix dv(grad_out.rows(), 1);
+  Matrix da = grad_out;
+  const auto n = static_cast<double>(grad_out.cols());
+  for (std::size_t r = 0; r < grad_out.rows(); ++r) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < grad_out.cols(); ++c)
+      total += grad_out.at(r, c);
+    dv.at(r, 0) = total;
+    const double mean = total / n;
+    for (std::size_t c = 0; c < grad_out.cols(); ++c)
+      da.at(r, c) = grad_out.at(r, c) - mean;
+  }
+  Matrix dx = value_.backward(dv);
+  dx += advantage_.backward(da);
+  return dx;
+}
+
+std::vector<Matrix*> DuelingHead::params() {
+  std::vector<Matrix*> out = value_.params();
+  for (Matrix* p : advantage_.params()) out.push_back(p);
+  return out;
+}
+
+std::vector<Matrix*> DuelingHead::grads() {
+  std::vector<Matrix*> out = value_.grads();
+  for (Matrix* g : advantage_.grads()) out.push_back(g);
+  return out;
+}
+
+void DuelingHead::zero_grads() {
+  value_.zero_grads();
+  advantage_.zero_grads();
+}
+
+std::unique_ptr<Layer> DuelingHead::clone() const {
+  auto copy = std::make_unique<DuelingHead>(fan_in(), actions());
+  auto src = const_cast<DuelingHead*>(this)->params();
+  auto dst = copy->params();
+  for (std::size_t i = 0; i < src.size(); ++i) *dst[i] = *src[i];
+  return copy;
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& sizes, Activation act,
+         util::Rng& rng, bool dueling)
+    : activation_(act), dueling_(dueling), sizes_(sizes) {
+  if (sizes.size() < 2) throw std::invalid_argument("Mlp needs >= 2 sizes");
+  input_size_ = sizes.front();
+  output_size_ = sizes.back();
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    const bool last = i + 2 == sizes.size();
+    if (last && dueling) {
+      auto head = std::make_unique<DuelingHead>(sizes[i], sizes[i + 1]);
+      head->init_he(rng);
+      layers_.push_back(std::move(head));
+      break;
+    }
+    auto linear = std::make_unique<Linear>(sizes[i], sizes[i + 1]);
+    if (act == Activation::kReLU) linear->init_he(rng);
+    else linear->init_xavier(rng);
+    layers_.push_back(std::move(linear));
+    if (!last) {
+      if (act == Activation::kReLU) layers_.push_back(std::make_unique<ReLU>());
+      else layers_.push_back(std::make_unique<Tanh>());
+    }
+  }
+}
+
+Mlp::Mlp(const Mlp& other)
+    : input_size_(other.input_size_), output_size_(other.output_size_),
+      activation_(other.activation_), dueling_(other.dueling_),
+      sizes_(other.sizes_) {
+  for (const auto& layer : other.layers_) layers_.push_back(layer->clone());
+}
+
+Mlp& Mlp::operator=(const Mlp& other) {
+  if (this == &other) return *this;
+  Mlp copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+Matrix Mlp::forward(const Matrix& x) {
+  Matrix h = x;
+  for (auto& layer : layers_) h = layer->forward(h);
+  return h;
+}
+
+Matrix Mlp::backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+void Mlp::zero_grads() {
+  for (auto& layer : layers_) layer->zero_grads();
+}
+
+std::vector<Matrix*> Mlp::params() {
+  std::vector<Matrix*> out;
+  for (auto& layer : layers_) {
+    for (Matrix* p : layer->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Matrix*> Mlp::grads() {
+  std::vector<Matrix*> out;
+  for (auto& layer : layers_) {
+    for (Matrix* g : layer->grads()) out.push_back(g);
+  }
+  return out;
+}
+
+std::size_t Mlp::num_parameters() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) {
+    for (Matrix* p : const_cast<Layer&>(*layer).params()) total += p->size();
+  }
+  return total;
+}
+
+void Mlp::copy_weights_from(const Mlp& other) {
+  auto dst = params();
+  auto src = const_cast<Mlp&>(other).params();
+  if (dst.size() != src.size())
+    throw std::invalid_argument("copy_weights_from: structure mismatch");
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    if (dst[i]->rows() != src[i]->rows() || dst[i]->cols() != src[i]->cols())
+      throw std::invalid_argument("copy_weights_from: shape mismatch");
+    *dst[i] = *src[i];
+  }
+}
+
+void Mlp::soft_update_from(const Mlp& other, double tau) {
+  auto dst = params();
+  auto src = const_cast<Mlp&>(other).params();
+  assert(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    auto& d = dst[i]->raw();
+    const auto& s = src[i]->raw();
+    for (std::size_t j = 0; j < d.size(); ++j) {
+      d[j] = tau * s[j] + (1.0 - tau) * d[j];
+    }
+  }
+}
+
+double Mlp::clip_grad_norm(double max_norm) {
+  double total_sq = 0.0;
+  for (Matrix* g : grads()) {
+    for (double v : g->raw()) total_sq += v * v;
+  }
+  const double norm = std::sqrt(total_sq);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (Matrix* g : grads()) *g *= scale;
+  }
+  return norm;
+}
+
+void Mlp::save(std::ostream& os) const {
+  os << "mlp " << sizes_.size() << ' ';
+  for (std::size_t s : sizes_) os << s << ' ';
+  os << (activation_ == Activation::kReLU ? "relu" : "tanh") << ' '
+     << (dueling_ ? "dueling" : "plain") << '\n';
+  for (const auto& layer : layers_) {
+    for (Matrix* p : const_cast<Layer&>(*layer).params()) p->save(os);
+  }
+}
+
+Mlp Mlp::load(std::istream& is) {
+  std::string magic;
+  std::size_t n = 0;
+  if (!(is >> magic >> n) || magic != "mlp")
+    throw std::runtime_error("Mlp::load: bad header");
+  std::vector<std::size_t> sizes(n);
+  for (auto& s : sizes) {
+    if (!(is >> s)) throw std::runtime_error("Mlp::load: sizes");
+  }
+  std::string act, head;
+  if (!(is >> act >> head)) throw std::runtime_error("Mlp::load: header tail");
+  util::Rng dummy(0);
+  Mlp mlp(sizes, act == "tanh" ? Activation::kTanh : Activation::kReLU,
+          dummy, head == "dueling");
+  for (Matrix* p : mlp.params()) *p = Matrix::load(is);
+  return mlp;
+}
+
+}  // namespace drlnoc::nn

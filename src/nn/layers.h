@@ -1,0 +1,156 @@
+// Layers and the MLP container. Forward caches what backward needs; backward
+// accumulates parameter gradients and returns the input gradient, so layers
+// compose by simple chaining.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace drlnoc::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  virtual std::string name() const = 0;
+  /// x: (batch, in) -> (batch, out).
+  virtual Matrix forward(const Matrix& x) = 0;
+  /// grad wrt output -> grad wrt input; accumulates parameter grads.
+  virtual Matrix backward(const Matrix& grad_out) = 0;
+  /// Parameter / gradient views (empty for activations).
+  virtual std::vector<Matrix*> params() { return {}; }
+  virtual std::vector<Matrix*> grads() { return {}; }
+  virtual void zero_grads() {}
+  virtual std::unique_ptr<Layer> clone() const = 0;
+};
+
+/// Fully connected: y = x W + b, W is (in, out), b is (1, out).
+class Linear : public Layer {
+ public:
+  Linear(std::size_t in, std::size_t out);
+  /// He-uniform initialisation (good default for ReLU nets).
+  void init_he(util::Rng& rng);
+  /// Xavier-uniform initialisation (tanh nets).
+  void init_xavier(util::Rng& rng);
+
+  std::string name() const override { return "linear"; }
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::vector<Matrix*> params() override { return {&w_, &b_}; }
+  std::vector<Matrix*> grads() override { return {&gw_, &gb_}; }
+  void zero_grads() override;
+  std::unique_ptr<Layer> clone() const override;
+
+  Matrix& weights() { return w_; }
+  Matrix& bias() { return b_; }
+  std::size_t fan_in() const { return w_.rows(); }
+  std::size_t fan_out() const { return w_.cols(); }
+
+ private:
+  Matrix w_, b_, gw_, gb_, cache_x_;
+};
+
+class ReLU : public Layer {
+ public:
+  std::string name() const override { return "relu"; }
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ReLU>();
+  }
+
+ private:
+  Matrix cache_x_;
+};
+
+class Tanh : public Layer {
+ public:
+  std::string name() const override { return "tanh"; }
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Tanh>();
+  }
+
+ private:
+  Matrix cache_y_;
+};
+
+/// Dueling head (Wang et al. 2016): splits the representation into a state
+/// value V and advantages A, combining as Q = V + A - mean(A). Drop-in last
+/// layer replacement for the plain Linear output in a Q-network.
+class DuelingHead : public Layer {
+ public:
+  DuelingHead(std::size_t in, std::size_t actions);
+  void init_he(util::Rng& rng);
+
+  std::string name() const override { return "dueling"; }
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::vector<Matrix*> params() override;
+  std::vector<Matrix*> grads() override;
+  void zero_grads() override;
+  std::unique_ptr<Layer> clone() const override;
+
+  std::size_t fan_in() const { return value_.fan_in(); }
+  std::size_t actions() const { return advantage_.fan_out(); }
+
+ private:
+  Linear value_;      ///< in -> 1
+  Linear advantage_;  ///< in -> actions
+};
+
+enum class Activation { kReLU, kTanh };
+
+/// Multi-layer perceptron: Linear (+activation) stack; the last Linear has no
+/// activation (Q-values are unbounded).
+class Mlp {
+ public:
+  Mlp() = default;
+  /// sizes = {in, hidden..., out}. With `dueling`, the final layer is a
+  /// DuelingHead instead of a plain Linear.
+  Mlp(const std::vector<std::size_t>& sizes, Activation act, util::Rng& rng,
+      bool dueling = false);
+
+  Mlp(const Mlp& other);
+  Mlp& operator=(const Mlp& other);
+  Mlp(Mlp&&) = default;
+  Mlp& operator=(Mlp&&) = default;
+
+  Matrix forward(const Matrix& x);
+  /// Gradient wrt network input (parameter grads accumulated inside).
+  Matrix backward(const Matrix& grad_out);
+  void zero_grads();
+
+  std::vector<Matrix*> params();
+  std::vector<Matrix*> grads();
+  std::size_t num_parameters() const;
+
+  /// Hard copy of all weights (target-network sync).
+  void copy_weights_from(const Mlp& other);
+  /// Polyak soft update: θ ← τ·θ_other + (1-τ)·θ.
+  void soft_update_from(const Mlp& other, double tau);
+
+  /// Global L2 gradient-norm clipping; returns the pre-clip norm.
+  double clip_grad_norm(double max_norm);
+
+  void save(std::ostream& os) const;
+  static Mlp load(std::istream& is);
+
+  std::size_t input_size() const { return input_size_; }
+  std::size_t output_size() const { return output_size_; }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::size_t input_size_ = 0;
+  std::size_t output_size_ = 0;
+  Activation activation_ = Activation::kReLU;
+  bool dueling_ = false;
+  std::vector<std::size_t> sizes_;
+};
+
+}  // namespace drlnoc::nn

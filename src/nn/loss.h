@@ -1,0 +1,43 @@
+// Loss functions. Each returns the scalar loss (mean over contributing
+// elements) and the gradient matrix dL/dpred to feed Mlp::backward().
+// The masked variants update only the chosen-action entries — the DQN
+// training signal, where the network outputs all Q(s,·) but only Q(s,a) has
+// a regression target.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace drlnoc::nn {
+
+struct LossResult {
+  double loss = 0.0;
+  Matrix grad;  ///< same shape as pred
+};
+
+/// Mean squared error over all elements.
+LossResult mse_loss(const Matrix& pred, const Matrix& target);
+
+/// Huber (smooth-L1) with threshold delta over all elements.
+LossResult huber_loss(const Matrix& pred, const Matrix& target,
+                      double delta = 1.0);
+
+/// Per-row masked Huber: row i contributes only column action[i], with
+/// target value target[i] and importance weight weight[i]. Returns the
+/// weighted mean loss; grad rows are zero outside the selected column.
+/// Also reports per-row absolute TD errors (for prioritized replay).
+struct MaskedLossResult {
+  double loss = 0.0;
+  Matrix grad;
+  std::vector<double> td_abs;  ///< |pred - target| per row
+};
+
+MaskedLossResult masked_huber_loss(const Matrix& pred,
+                                   const std::vector<int>& action,
+                                   const std::vector<double>& target,
+                                   const std::vector<double>& weight,
+                                   double delta = 1.0);
+
+}  // namespace drlnoc::nn

@@ -1,0 +1,141 @@
+#include "nn/matrix.h"
+
+#include <cassert>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace drlnoc::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Matrix::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols, double fill) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+std::vector<double> Matrix::row(std::size_t r) const {
+  assert(r < rows_);
+  return std::vector<double>(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+                             data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
+}
+
+void Matrix::set_row(std::size_t r, const std::vector<double>& values) {
+  assert(r < rows_ && values.size() == cols_);
+  std::copy(values.begin(), values.end(),
+            data_.begin() + static_cast<std::ptrdiff_t>(r * cols_));
+}
+
+double Matrix::norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+void Matrix::save(std::ostream& os) const {
+  os << rows_ << ' ' << cols_ << '\n';
+  os.precision(17);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    os << data_[i] << (i + 1 == data_.size() ? '\n' : ' ');
+  }
+}
+
+Matrix Matrix::load(std::istream& is) {
+  std::size_t rows = 0, cols = 0;
+  if (!(is >> rows >> cols)) throw std::runtime_error("Matrix::load: header");
+  Matrix m(rows, cols);
+  for (double& v : m.data_) {
+    if (!(is >> v)) throw std::runtime_error("Matrix::load: payload");
+  }
+  return m;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.at(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols(), 0.0);
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = a.at(k, i);
+      if (aki == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aki * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        acc += a.at(i, k) * b.at(j, k);
+      }
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+void add_row_inplace(Matrix& a, const Matrix& row) {
+  assert(row.rows() == 1 && row.cols() == a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      a.at(i, j) += row.at(0, j);
+    }
+  }
+}
+
+Matrix column_sums(const Matrix& a) {
+  Matrix s(1, a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      s.at(0, j) += a.at(i, j);
+    }
+  }
+  return s;
+}
+
+}  // namespace drlnoc::nn

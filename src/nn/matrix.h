@@ -1,0 +1,63 @@
+// Dense row-major matrix with the handful of operations an MLP needs.
+// Double precision keeps finite-difference gradient checks tight.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+namespace drlnoc::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::vector<double>& raw() { return data_; }
+  const std::vector<double>& raw() const { return data_; }
+
+  void fill(double value);
+  void resize(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  /// Row r as a vector copy (convenience for Q-value extraction).
+  std::vector<double> row(std::size_t r) const;
+  /// Sets row r from a vector of length cols().
+  void set_row(std::size_t r, const std::vector<double>& values);
+
+  /// Frobenius norm.
+  double norm() const;
+
+  void save(std::ostream& os) const;
+  static Matrix load(std::istream& is);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A (m×k) * B (k×n).
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = Aᵀ (k×m) * B (k×n) — used for weight gradients.
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+/// C = A (m×k) * Bᵀ (n×k) — used for input gradients.
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+/// Adds a 1×n row vector to every row of a (m×n).
+void add_row_inplace(Matrix& a, const Matrix& row);
+/// 1×n column sums of a (m×n) — bias gradient.
+Matrix column_sums(const Matrix& a);
+
+}  // namespace drlnoc::nn

@@ -1,0 +1,84 @@
+#include "nn/optimizer.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace drlnoc::nn {
+
+Sgd::Sgd(double lr, double momentum) : lr_(lr), momentum_(momentum) {
+  if (lr <= 0.0) throw std::invalid_argument("learning rate must be > 0");
+}
+
+void Sgd::step(const std::vector<Matrix*>& params,
+               const std::vector<Matrix*>& grads) {
+  assert(params.size() == grads.size());
+  if (velocity_.size() != params.size()) {
+    velocity_.assign(params.size(), {});
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto& p = params[i]->raw();
+    const auto& g = grads[i]->raw();
+    assert(p.size() == g.size());
+    if (momentum_ > 0.0) {
+      auto& v = velocity_[i];
+      if (v.size() != p.size()) v.assign(p.size(), 0.0);
+      for (std::size_t j = 0; j < p.size(); ++j) {
+        v[j] = momentum_ * v[j] - lr_ * g[j];
+        p[j] += v[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < p.size(); ++j) p[j] -= lr_ * g[j];
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  if (lr <= 0.0) throw std::invalid_argument("learning rate must be > 0");
+}
+
+void Adam::reset() {
+  t_ = 0;
+  m_.clear();
+  v_.clear();
+}
+
+void Adam::step(const std::vector<Matrix*>& params,
+                const std::vector<Matrix*>& grads) {
+  assert(params.size() == grads.size());
+  if (m_.size() != params.size()) {
+    m_.assign(params.size(), {});
+    v_.assign(params.size(), {});
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto& p = params[i]->raw();
+    const auto& g = grads[i]->raw();
+    assert(p.size() == g.size());
+    auto& m = m_[i];
+    auto& v = v_[i];
+    if (m.size() != p.size()) {
+      m.assign(p.size(), 0.0);
+      v.assign(p.size(), 0.0);
+    }
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      p[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const std::string& kind, double lr) {
+  if (kind == "sgd") return std::make_unique<Sgd>(lr);
+  if (kind == "sgdm") return std::make_unique<Sgd>(lr, 0.9);
+  if (kind == "adam") return std::make_unique<Adam>(lr);
+  throw std::invalid_argument("unknown optimizer: " + kind);
+}
+
+}  // namespace drlnoc::nn

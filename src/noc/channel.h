@@ -1,0 +1,58 @@
+// Fixed-latency point-to-point delay lines. All inter-router (and
+// router<->NIC) communication flows through channels, which is what makes the
+// per-cycle router update order immaterial: nothing sent in cycle t can be
+// observed before t + latency, latency >= 1.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "noc/types.h"
+
+namespace drlnoc::noc {
+
+/// FIFO delay line carrying items of type T with a fixed latency in cycles.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Cycle latency = 1) : latency_(latency) {
+    assert(latency >= 1 && "zero-latency channels would create same-cycle "
+                           "visibility between routers");
+  }
+
+  Cycle latency() const { return latency_; }
+
+  void send(T item, Cycle now) {
+    entries_.push_back(Entry{now + latency_, std::move(item)});
+  }
+
+  /// True if an item is deliverable at `now`.
+  bool ready(Cycle now) const {
+    return !entries_.empty() && entries_.front().due <= now;
+  }
+
+  T receive([[maybe_unused]] Cycle now) {
+    assert(ready(now));
+    T item = std::move(entries_.front().item);
+    entries_.pop_front();
+    return item;
+  }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t in_flight() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Cycle due;
+    T item;
+  };
+  Cycle latency_;
+  std::deque<Entry> entries_;
+};
+
+using FlitChannel = Channel<Flit>;
+using CreditChannel = Channel<Credit>;
+
+}  // namespace drlnoc::noc

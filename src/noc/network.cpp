@@ -1,0 +1,368 @@
+#include "noc/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace drlnoc::noc {
+
+std::string to_string(const NocConfig& c) {
+  return "vc=" + std::to_string(c.active_vcs) +
+         " depth=" + std::to_string(c.active_depth) +
+         " dvfs=" + std::to_string(c.dvfs_level);
+}
+
+double EpochStats::avg_power_mw(double core_freq_ghz) const {
+  if (core_cycles <= 0.0) return 0.0;
+  const double wall_ns = core_cycles / core_freq_ghz;
+  return total_energy_pj() / wall_ns;  // pJ / ns == mW
+}
+
+Network::Network(NetworkParams params, PowerParams power_params,
+                 std::vector<DvfsLevel> levels)
+    : params_(std::move(params)),
+      power_(power_params, std::move(levels)),
+      config_(params_.initial_config),
+      topology_(make_topology(params_.topology, params_.width,
+                              params_.height)),
+      routing_(make_routing(params_.routing, *topology_)),
+      epoch_latency_hist_(/*limit=*/16384.0, /*buckets=*/8192),
+      epoch_node_recv_(static_cast<std::size_t>(topology_->num_nodes()), 0) {
+  if (config_.active_vcs < 1 || config_.active_vcs > params_.max_vcs ||
+      config_.active_depth < 1 || config_.active_depth > params_.max_depth ||
+      config_.dvfs_level < 0 || config_.dvfs_level >= power_.num_levels()) {
+    throw std::invalid_argument("initial NocConfig out of range");
+  }
+  if (topology_->required_vc_classes() > params_.max_vcs) {
+    throw std::invalid_argument(
+        "topology needs more VC classes than physical VCs");
+  }
+
+  util::Rng master(params_.seed);
+  const int n = topology_->num_nodes();
+  node_rngs_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) node_rngs_.push_back(master.fork());
+
+  RouterParams rp;
+  rp.num_ports = topology_->radix();
+  rp.max_vcs = params_.max_vcs;
+  rp.max_depth = params_.max_depth;
+  rp.vc_classes = topology_->required_vc_classes();
+  rp.active_vcs = config_.active_vcs;
+  rp.active_depth = config_.active_depth;
+  rp.pipeline_stages = params_.pipeline_stages;
+
+  NicParams np;
+  np.max_vcs = params_.max_vcs;
+  np.max_depth = params_.max_depth;
+  np.vc_classes = rp.vc_classes;
+  np.active_vcs = config_.active_vcs;
+  np.flits_per_packet = params_.flits_per_packet;
+
+  routers_.reserve(static_cast<std::size_t>(n));
+  nics_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    routers_.push_back(std::make_unique<Router>(i, rp, *routing_));
+    nics_.push_back(std::make_unique<Nic>(i, np));
+  }
+  wire();
+  per_router_configs_.assign(static_cast<std::size_t>(n), config_);
+}
+
+Network::~Network() = default;
+
+void Network::wire() {
+  struct PortChans {
+    FlitChannel* in_flits = nullptr;
+    CreditChannel* out_credits = nullptr;
+    FlitChannel* out_flits = nullptr;
+    CreditChannel* in_credits = nullptr;
+    bool to_router = false;  ///< downstream endpoint is another router
+  };
+  const int radix = topology_->radix();
+  const int n = topology_->num_nodes();
+  std::vector<PortChans> chans(static_cast<std::size_t>(n * radix));
+  auto at = [&](NodeId node, PortId port) -> PortChans& {
+    return chans[static_cast<std::size_t>(node * radix + port)];
+  };
+
+  // Inter-router links: one flit channel downstream + one credit channel back.
+  links_ = topology_->links();
+  num_links_ = static_cast<int>(links_.size());
+  for (const Link& link : links_) {
+    auto fc = std::make_unique<FlitChannel>(params_.link_latency);
+    auto cc = std::make_unique<CreditChannel>(params_.link_latency);
+    at(link.from.node, link.from.port).out_flits = fc.get();
+    at(link.from.node, link.from.port).in_credits = cc.get();
+    at(link.from.node, link.from.port).to_router = true;
+    at(link.to.node, link.to.port).in_flits = fc.get();
+    at(link.to.node, link.to.port).out_credits = cc.get();
+    flit_channels_.push_back(std::move(fc));
+    credit_channels_.push_back(std::move(cc));
+  }
+
+  // NIC links (injection + ejection), latency 1.
+  for (int i = 0; i < n; ++i) {
+    auto inj_f = std::make_unique<FlitChannel>(1);
+    auto inj_c = std::make_unique<CreditChannel>(1);
+    auto ej_f = std::make_unique<FlitChannel>(1);
+    auto ej_c = std::make_unique<CreditChannel>(1);
+    at(i, kLocalPort).in_flits = inj_f.get();
+    at(i, kLocalPort).out_credits = inj_c.get();
+    at(i, kLocalPort).out_flits = ej_f.get();
+    at(i, kLocalPort).in_credits = ej_c.get();
+    nics_[static_cast<std::size_t>(i)]->connect(inj_f.get(), inj_c.get(),
+                                                ej_f.get(), ej_c.get());
+    nics_[static_cast<std::size_t>(i)]->init_credits(config_.active_depth);
+    flit_channels_.push_back(std::move(inj_f));
+    flit_channels_.push_back(std::move(ej_f));
+    credit_channels_.push_back(std::move(inj_c));
+    credit_channels_.push_back(std::move(ej_c));
+  }
+
+  for (int i = 0; i < n; ++i) {
+    for (int p = 0; p < radix; ++p) {
+      const PortChans& pc = at(i, p);
+      routers_[static_cast<std::size_t>(i)]->connect(
+          p, pc.in_flits, pc.out_credits, pc.out_flits, pc.in_credits);
+      if (pc.out_flits != nullptr) {
+        // Credits for a downstream router reflect its active depth; the NIC
+        // ejection buffer is never gated, so it advertises full depth.
+        const int credits =
+            pc.to_router ? config_.active_depth : params_.max_depth;
+        routers_[static_cast<std::size_t>(i)]->init_output_credits(p, credits);
+      }
+    }
+  }
+}
+
+namespace {
+void validate_config(const NocConfig& config, const NetworkParams& params,
+                     int num_levels) {
+  if (config.active_vcs < 1 || config.active_vcs > params.max_vcs ||
+      config.active_depth < 1 || config.active_depth > params.max_depth ||
+      config.dvfs_level < 0 || config.dvfs_level >= num_levels) {
+    throw std::invalid_argument("NocConfig out of range: " +
+                                to_string(config));
+  }
+}
+}  // namespace
+
+void Network::apply_config(const NocConfig& config) {
+  validate_config(config, params_, power_.num_levels());
+  for (auto& r : routers_) {
+    r->set_active_vcs(config.active_vcs, cycle_);
+    r->set_active_depth(config.active_depth, cycle_);
+  }
+  for (auto& nic : nics_) nic->set_active_vcs(config.active_vcs);
+  config_ = config;
+  per_router_configs_.assign(static_cast<std::size_t>(num_nodes()), config);
+}
+
+void Network::apply_per_router(const std::vector<NocConfig>& configs) {
+  if (static_cast<int>(configs.size()) != num_nodes()) {
+    throw std::invalid_argument("apply_per_router: need one config per node");
+  }
+  for (const NocConfig& c : configs) {
+    validate_config(c, params_, power_.num_levels());
+    if (c.dvfs_level != configs.front().dvfs_level) {
+      throw std::invalid_argument(
+          "apply_per_router: routers share one clock domain; DVFS levels "
+          "must match");
+    }
+  }
+  NocConfig representative = configs.front();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    auto& r = routers_[i];
+    r->set_active_vcs(configs[i].active_vcs, cycle_);
+    r->set_active_depth(configs[i].active_depth, cycle_);
+    nics_[i]->set_active_vcs(configs[i].active_vcs);
+    representative.active_vcs =
+        std::max(representative.active_vcs, configs[i].active_vcs);
+    representative.active_depth =
+        std::max(representative.active_depth, configs[i].active_depth);
+  }
+  // VC allocation gates on the *downstream* router's active VC set.
+  for (const Link& link : links_) {
+    routers_[static_cast<std::size_t>(link.from.node)]->set_output_active_vcs(
+        link.from.port,
+        configs[static_cast<std::size_t>(link.to.node)].active_vcs);
+  }
+  config_ = representative;
+  per_router_configs_ = configs;
+}
+
+void Network::inject_due_traffic(TrafficInjector* injector) {
+  // Core ticks scheduled strictly before the *end* of this router cycle.
+  const double divisor = power_.clock_divisor(config_.dvfs_level);
+  const double end_time = core_time_ + divisor;
+  const int n = num_nodes();
+  while (static_cast<double>(next_core_tick_) < end_time) {
+    const auto t = static_cast<double>(next_core_tick_);
+    if (injector != nullptr) {
+      const int length = injector->packet_length(t);
+      for (int node = 0; node < n; ++node) {
+        const NodeId dst =
+            injector->generate(node, t, node_rngs_[static_cast<std::size_t>(node)]);
+        if (dst == kInvalidNode) continue;
+        assert(dst >= 0 && dst < n);
+        nics_[static_cast<std::size_t>(node)]->offer_packet(
+            dst, t, measuring_, next_packet_id_++, length);
+        ++epoch_offered_;
+        ++total_offered_;
+      }
+    }
+    ++next_core_tick_;
+  }
+}
+
+void Network::step(TrafficInjector* injector) {
+  inject_due_traffic(injector);
+  const double divisor = power_.clock_divisor(config_.dvfs_level);
+  core_time_ += divisor;
+
+  for (auto& nic : nics_) nic->step(cycle_, core_time_);
+  for (auto& r : routers_) r->step(cycle_);
+
+  // Harvest completions and occupancy after the cycle's activity.
+  int buffered = 0;
+  int max_occ = 0;
+  for (auto& r : routers_) {
+    buffered += r->buffered_flits();
+    max_occ = std::max(max_occ, r->max_vc_occupancy());
+  }
+  const double cap = static_cast<double>(active_capacity());
+  epoch_occupancy_.add(static_cast<double>(buffered) / cap);
+  (void)max_occ;
+
+  for (auto& nic : nics_) {
+    auto& recs = nic->records();
+    for (PacketRecord& rec : recs) {
+      ++epoch_received_;
+      ++total_received_;
+      ++epoch_node_recv_[static_cast<std::size_t>(rec.dst)];
+      if (rec.measured) {
+        const double latency = rec.eject_time - rec.inject_time;
+        epoch_latency_.add(latency);
+        epoch_latency_hist_.add(latency);
+        epoch_hops_.add(static_cast<double>(rec.hops));
+      }
+      pending_records_.push_back(rec);
+    }
+    recs.clear();
+  }
+  ++cycle_;
+}
+
+EpochStats Network::run_epoch(TrafficInjector* injector,
+                              std::uint64_t router_cycles) {
+  for (std::uint64_t i = 0; i < router_cycles; ++i) step(injector);
+  return drain_epoch_stats();
+}
+
+int Network::active_capacity() const {
+  int slots = 0;
+  for (const NocConfig& c : per_router_configs_) {
+    slots += topology_->radix() * c.active_vcs * c.active_depth;
+  }
+  return std::max(1, slots);
+}
+
+EpochStats Network::drain_epoch_stats() {
+  EpochStats s;
+  s.core_cycles = core_time_ - epoch_start_core_time_;
+  s.router_cycles = cycle_ - epoch_start_cycle_;
+  s.packets_offered = epoch_offered_;
+  s.packets_received = epoch_received_;
+  s.avg_latency = epoch_latency_.mean();
+  s.p95_latency = epoch_latency_hist_.percentile(0.95);
+  s.max_latency = epoch_latency_.count() ? epoch_latency_.max() : 0.0;
+  s.avg_hops = epoch_hops_.mean();
+  const double node_cycles =
+      s.core_cycles * static_cast<double>(num_nodes());
+  s.offered_rate = node_cycles > 0.0
+                       ? static_cast<double>(epoch_offered_) / node_cycles
+                       : 0.0;
+  s.accepted_rate = node_cycles > 0.0
+                        ? static_cast<double>(epoch_received_) / node_cycles
+                        : 0.0;
+  s.avg_buffer_occupancy = epoch_occupancy_.mean();
+  s.max_buffer_occupancy =
+      epoch_occupancy_.count() ? epoch_occupancy_.max() : 0.0;
+
+  double recv_max = 0.0, recv_sum = 0.0;
+  for (std::uint64_t c : epoch_node_recv_) {
+    recv_max = std::max(recv_max, static_cast<double>(c));
+    recv_sum += static_cast<double>(c);
+  }
+  const double recv_mean = recv_sum / static_cast<double>(num_nodes());
+  s.hotspot_skew = recv_mean > 0.0 ? recv_max / recv_mean : 1.0;
+
+  RouterActivity activity;
+  std::uint64_t fin = 0, fout = 0;
+  for (auto& r : routers_) {
+    activity += r->activity();
+    r->reset_activity();
+  }
+  for (auto& nic : nics_) {
+    fin += nic->injected_flits();
+    fout += nic->ejected_flits();
+  }
+  s.flits_injected = fin - epoch_flits_in_;
+  s.flits_ejected = fout - epoch_flits_out_;
+  epoch_flits_in_ = fin;
+  epoch_flits_out_ = fout;
+
+  s.dynamic_energy_pj = power_.dynamic_energy(activity, config_.dvfs_level);
+  const double wall_ns = s.core_cycles / power_.params().core_freq_ghz;
+  s.static_energy_pj = power_.static_energy_slots(
+      num_nodes(), num_links_, static_cast<double>(active_capacity()),
+      config_.dvfs_level, wall_ns);
+
+  std::uint64_t backlog = 0;
+  for (auto& nic : nics_) backlog += nic->source_queue_len();
+  s.source_queue_total = backlog;
+  s.config = config_;
+
+  // Reset the window.
+  epoch_start_core_time_ = core_time_;
+  epoch_start_cycle_ = cycle_;
+  epoch_offered_ = 0;
+  epoch_received_ = 0;
+  epoch_latency_.reset();
+  epoch_latency_hist_.reset();
+  epoch_hops_.reset();
+  epoch_occupancy_.reset();
+  std::fill(epoch_node_recv_.begin(), epoch_node_recv_.end(), 0);
+  return s;
+}
+
+std::vector<PacketRecord> Network::drain_records() {
+  return std::exchange(pending_records_, {});
+}
+
+bool Network::drained() const {
+  for (const auto& nic : nics_)
+    if (!nic->idle()) return false;
+  for (const auto& r : routers_)
+    if (!r->idle()) return false;
+  for (const auto& fc : flit_channels_)
+    if (!fc->empty()) return false;
+  return true;
+}
+
+std::uint64_t Network::total_flits_injected() const {
+  std::uint64_t total = 0;
+  for (const auto& nic : nics_) total += nic->injected_flits();
+  return total;
+}
+
+std::uint64_t Network::total_flits_ejected() const {
+  std::uint64_t total = 0;
+  for (const auto& nic : nics_) total += nic->ejected_flits();
+  return total;
+}
+
+}  // namespace drlnoc::noc

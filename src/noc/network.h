@@ -1,0 +1,201 @@
+// Network: topology + routers + channels + NICs assembled into a steppable
+// cycle-accurate simulation, with run-time reconfiguration (the knobs the DRL
+// controller drives) and per-epoch statistics extraction.
+//
+// Clocking model: the *core* clock (PowerParams::core_freq_ghz) is the time
+// reference; packet latencies are reported in core cycles. Routers and links
+// run at the DVFS level's frequency, i.e. one router cycle spans
+// `clock_divisor(level) >= 1` core cycles. Traffic is generated per core
+// cycle, so lowering the NoC clock raises the per-router-cycle load — the
+// latency/power trade-off the RL agent must learn.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "noc/channel.h"
+#include "noc/nic.h"
+#include "noc/power.h"
+#include "noc/router.h"
+#include "noc/routing.h"
+#include "noc/topology.h"
+#include "noc/traffic.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace drlnoc::noc {
+
+/// The run-time configuration the self-configuration controller selects.
+struct NocConfig {
+  int active_vcs = 4;
+  int active_depth = 8;
+  int dvfs_level = 3;
+
+  bool operator==(const NocConfig&) const = default;
+};
+
+std::string to_string(const NocConfig& config);
+
+struct NetworkParams {
+  std::string topology = "mesh";
+  int width = 8;
+  int height = 8;
+  std::string routing = "auto";
+  int max_vcs = 4;
+  int max_depth = 8;
+  int flits_per_packet = 4;
+  Cycle link_latency = 1;
+  int pipeline_stages = 1;  ///< router pipeline depth (see RouterParams)
+  std::uint64_t seed = 1;
+  NocConfig initial_config{};
+};
+
+/// Pulls traffic out of a workload: one call per node per core cycle.
+/// Returns the destination node or kInvalidNode for "no packet".
+class TrafficInjector {
+ public:
+  virtual ~TrafficInjector() = default;
+  virtual NodeId generate(NodeId src, double core_time, util::Rng& rng) = 0;
+  /// Length in flits of the packet being generated at `core_time`;
+  /// 0 means "use the network's default flits_per_packet".
+  virtual int packet_length(double /*core_time*/) const { return 0; }
+  virtual std::string name() const = 0;
+};
+
+/// Aggregate statistics over one measurement window (epoch).
+struct EpochStats {
+  double core_cycles = 0.0;
+  std::uint64_t router_cycles = 0;
+  std::uint64_t packets_offered = 0;   ///< generated at sources
+  std::uint64_t packets_received = 0;  ///< fully ejected
+  std::uint64_t flits_injected = 0;
+  std::uint64_t flits_ejected = 0;
+  double avg_latency = 0.0;  ///< core cycles, over packets received in epoch
+  double p95_latency = 0.0;
+  double max_latency = 0.0;
+  double avg_hops = 0.0;
+  double offered_rate = 0.0;   ///< packets / node / core cycle
+  double accepted_rate = 0.0;  ///< packets / node / core cycle
+  double avg_buffer_occupancy = 0.0;  ///< fraction of *active* capacity
+  double max_buffer_occupancy = 0.0;
+  double hotspot_skew = 1.0;  ///< max node receive count / mean
+  double dynamic_energy_pj = 0.0;
+  double static_energy_pj = 0.0;
+  std::uint64_t source_queue_total = 0;  ///< backlog at epoch end
+  NocConfig config{};
+
+  double total_energy_pj() const {
+    return dynamic_energy_pj + static_energy_pj;
+  }
+  /// Average power in mW over the epoch's wall time.
+  double avg_power_mw(double core_freq_ghz) const;
+  /// Energy-delay product (pJ * core-cycle); the scalar the experiments
+  /// compare controllers on.
+  double edp() const { return total_energy_pj() * avg_latency; }
+};
+
+class Network {
+ public:
+  explicit Network(NetworkParams params, PowerParams power_params = {},
+                   std::vector<DvfsLevel> levels = default_dvfs_levels());
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Applies a configuration; takes effect immediately and never drops
+  /// in-flight flits (DESIGN.md invariant 6).
+  void apply_config(const NocConfig& config);
+  const NocConfig& config() const { return config_; }
+
+  /// Spatially heterogeneous configuration: one NocConfig per router
+  /// (extension feature — per-region self-configuration). All entries must
+  /// share the same DVFS level (routers are clocked by one domain in this
+  /// model); VC/depth may differ per router. VC-allocation gating follows
+  /// the *downstream* router's active VCs on every link.
+  void apply_per_router(const std::vector<NocConfig>& configs);
+  const NocConfig& config_of(NodeId node) const {
+    return per_router_configs_[static_cast<std::size_t>(node)];
+  }
+
+  /// One router-clock cycle: generates due core-cycle traffic via
+  /// `injector` (may be null for drain-only stepping), steps NICs and
+  /// routers, accumulates statistics.
+  void step(TrafficInjector* injector);
+
+  /// Runs `router_cycles` steps and returns the window's statistics.
+  EpochStats run_epoch(TrafficInjector* injector, std::uint64_t router_cycles);
+
+  /// When false, generated packets are not tagged `measured` and are
+  /// excluded from latency statistics (warm-up convention).
+  void set_measuring(bool measuring) { measuring_ = measuring; }
+
+  /// Statistics accumulated since the previous drain (or construction).
+  EpochStats drain_epoch_stats();
+
+  /// All completed-packet records since the previous call.
+  std::vector<PacketRecord> drain_records();
+
+  bool drained() const;  ///< no flit anywhere in the system
+
+  // --- accessors ------------------------------------------------------------
+  double core_time() const { return core_time_; }
+  Cycle cycle() const { return cycle_; }
+  const Topology& topology() const { return *topology_; }
+  const NetworkParams& params() const { return params_; }
+  const PowerModel& power() const { return power_; }
+  int num_nodes() const { return topology_->num_nodes(); }
+  std::uint64_t total_packets_offered() const { return total_offered_; }
+  std::uint64_t total_packets_received() const { return total_received_; }
+  std::uint64_t total_flits_injected() const;
+  std::uint64_t total_flits_ejected() const;
+  Router& router(NodeId id) { return *routers_[static_cast<std::size_t>(id)]; }
+  Nic& nic(NodeId id) { return *nics_[static_cast<std::size_t>(id)]; }
+
+ private:
+  void wire();
+  void inject_due_traffic(TrafficInjector* injector);
+  int active_capacity() const;
+
+  NetworkParams params_;
+  PowerModel power_;
+  NocConfig config_;
+  std::unique_ptr<Topology> topology_;
+  std::unique_ptr<RoutingAlgorithm> routing_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  // Channel storage; routers/NICs hold raw non-owning pointers into these.
+  std::vector<std::unique_ptr<FlitChannel>> flit_channels_;
+  std::vector<std::unique_ptr<CreditChannel>> credit_channels_;
+  std::vector<Link> links_;
+  int num_links_ = 0;
+  std::vector<NocConfig> per_router_configs_;
+
+  std::vector<util::Rng> node_rngs_;
+  std::uint64_t next_packet_id_ = 1;
+  bool measuring_ = true;
+
+  Cycle cycle_ = 0;
+  double core_time_ = 0.0;
+  std::uint64_t next_core_tick_ = 0;
+
+  // Epoch accumulators.
+  double epoch_start_core_time_ = 0.0;
+  Cycle epoch_start_cycle_ = 0;
+  std::uint64_t epoch_offered_ = 0;
+  std::uint64_t epoch_received_ = 0;
+  std::uint64_t epoch_flits_in_ = 0;
+  std::uint64_t epoch_flits_out_ = 0;
+  util::Accumulator epoch_latency_;
+  util::Histogram epoch_latency_hist_;
+  util::Accumulator epoch_hops_;
+  util::Accumulator epoch_occupancy_;
+  std::vector<std::uint64_t> epoch_node_recv_;
+  std::vector<PacketRecord> pending_records_;
+
+  std::uint64_t total_offered_ = 0;
+  std::uint64_t total_received_ = 0;
+};
+
+}  // namespace drlnoc::noc

@@ -1,0 +1,162 @@
+#include "noc/nic.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace drlnoc::noc {
+
+Nic::Nic(NodeId id, NicParams params)
+    : id_(id), params_(params),
+      credits_(static_cast<std::size_t>(params.max_vcs), params.max_depth),
+      tx_(static_cast<std::size_t>(params.max_vcs)),
+      rx_(static_cast<std::size_t>(params.max_vcs)) {
+  // Injection credits start at the router input unit's initially advertised
+  // capacity (its active depth); Network overrides via init pattern below.
+}
+
+void Nic::init_credits(int per_vc) {
+  assert(per_vc >= 0 && per_vc <= params_.max_depth);
+  std::fill(credits_.begin(), credits_.end(), per_vc);
+}
+
+void Nic::connect(FlitChannel* inject_flits, CreditChannel* inject_credits,
+                  FlitChannel* eject_flits, CreditChannel* eject_credits) {
+  inject_flits_ = inject_flits;
+  inject_credits_ = inject_credits;
+  eject_flits_ = eject_flits;
+  eject_credits_ = eject_credits;
+}
+
+void Nic::offer_packet(NodeId dst, double core_time, bool measured,
+                       std::uint64_t packet_id, int length) {
+  if (length <= 0) length = params_.flits_per_packet;
+  assert(length >= 1 && length <= 0xffff);
+  source_queue_.push_back(PendingPacket{packet_id, dst, core_time, measured,
+                                        static_cast<std::uint16_t>(length)});
+}
+
+int Nic::pick_injection_vc() const {
+  // Injected packets always start in VC class 0.
+  const int per_class_phys = params_.max_vcs / params_.vc_classes;
+  const int per_class_active =
+      std::max(1, params_.active_vcs / params_.vc_classes);
+  const int end = std::min(per_class_active, per_class_phys);
+  int best = -1;
+  int best_credits = 0;  // require at least one credit
+  for (int v = 0; v < end; ++v) {
+    if (tx_[static_cast<std::size_t>(v)].active) continue;
+    if (credits_[static_cast<std::size_t>(v)] > best_credits) {
+      best_credits = credits_[static_cast<std::size_t>(v)];
+      best = v;
+    }
+  }
+  return best;
+}
+
+void Nic::step(Cycle cycle, double core_time) {
+  // 1. Ejection: drain every deliverable flit, return credits immediately.
+  if (eject_flits_) {
+    while (eject_flits_->ready(cycle)) {
+      const Flit flit = eject_flits_->receive(cycle);
+      assert(flit.dst == id_ && "flit ejected at wrong node");
+      RxState& rx = rx_[static_cast<std::size_t>(flit.vc)];
+      if (is_head(flit.type)) {
+        assert(!rx.active && "head flit interleaved into busy ejection VC");
+        rx.active = true;
+        rx.expected_seq = 0;
+      }
+      assert(rx.active);
+      assert(flit.seq == rx.expected_seq && "flit reordering within a VC");
+      ++rx.expected_seq;
+      ++ejected_flits_;
+      if (eject_credits_) eject_credits_->send(Credit{flit.vc}, cycle);
+      if (is_tail(flit.type)) {
+        rx.active = false;
+        PacketRecord rec;
+        rec.packet_id = flit.packet_id;
+        rec.src = flit.src;
+        rec.dst = flit.dst;
+        rec.length = flit.packet_len;
+        rec.inject_time = flit.inject_time;
+        rec.eject_time = core_time;
+        rec.hops = flit.hops;
+        rec.measured = flit.measured;
+        records_.push_back(rec);
+        ++received_packets_;
+      }
+    }
+  }
+
+  // 2. Credits from the router's local input unit.
+  if (inject_credits_) {
+    while (inject_credits_->ready(cycle)) {
+      const Credit c = inject_credits_->receive(cycle);
+      ++credits_[static_cast<std::size_t>(c.vc)];
+      assert(credits_[static_cast<std::size_t>(c.vc)] <= params_.max_depth);
+    }
+  }
+
+  if (!inject_flits_) return;
+
+  // 3. Injection: the local link carries one flit per router cycle.
+  //    Round-robin across in-progress transmissions first; start a new
+  //    packet only when no transmission can make progress.
+  int send_vc = -1;
+  for (int k = 0; k < params_.max_vcs; ++k) {
+    const int v = (rr_vc_ + k) % params_.max_vcs;
+    if (tx_[static_cast<std::size_t>(v)].active &&
+        credits_[static_cast<std::size_t>(v)] > 0) {
+      send_vc = v;
+      break;
+    }
+  }
+  if (send_vc < 0 && !source_queue_.empty()) {
+    const int v = pick_injection_vc();
+    if (v >= 0) {
+      TxState& tx = tx_[static_cast<std::size_t>(v)];
+      tx.active = true;
+      tx.packet = source_queue_.front();
+      source_queue_.pop_front();
+      tx.next_seq = 0;
+      tx.length = tx.packet.length;
+      send_vc = v;
+    }
+  }
+  if (send_vc < 0) return;
+
+  TxState& tx = tx_[static_cast<std::size_t>(send_vc)];
+  Flit flit;
+  flit.packet_id = tx.packet.packet_id;
+  flit.src = id_;
+  flit.dst = tx.packet.dst;
+  flit.seq = tx.next_seq;
+  flit.packet_len = tx.length;
+  flit.inject_time = tx.packet.inject_time;
+  flit.measured = tx.packet.measured;
+  flit.vc_class = 0;
+  flit.vc = static_cast<VcId>(send_vc);
+  const bool head = tx.next_seq == 0;
+  const bool tail = tx.next_seq + 1 == tx.length;
+  flit.type = head && tail ? FlitType::kHeadTail
+              : head       ? FlitType::kHead
+              : tail       ? FlitType::kTail
+                           : FlitType::kBody;
+  inject_flits_->send(flit, cycle);
+  --credits_[static_cast<std::size_t>(send_vc)];
+  ++injected_flits_;
+  ++tx.next_seq;
+  if (tail) tx.active = false;
+  rr_vc_ = (send_vc + 1) % params_.max_vcs;
+  (void)core_time;
+}
+
+bool Nic::idle() const {
+  if (!source_queue_.empty()) return false;
+  for (const auto& tx : tx_)
+    if (tx.active) return false;
+  for (const auto& rx : rx_)
+    if (rx.active) return false;
+  return true;
+}
+
+}  // namespace drlnoc::noc

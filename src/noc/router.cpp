@@ -1,0 +1,335 @@
+#include "noc/router.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace drlnoc::noc {
+
+RouterActivity& RouterActivity::operator+=(const RouterActivity& o) {
+  buffer_writes += o.buffer_writes;
+  buffer_reads += o.buffer_reads;
+  vc_allocs += o.vc_allocs;
+  sw_arbs += o.sw_arbs;
+  xbar_traversals += o.xbar_traversals;
+  link_flits += o.link_flits;
+  return *this;
+}
+
+Router::Router(NodeId id, RouterParams params, const RoutingAlgorithm& routing)
+    : id_(id), params_(params), routing_(routing),
+      ports_(static_cast<std::size_t>(params.num_ports)),
+      inputs_(static_cast<std::size_t>(params.num_ports * params.max_vcs)),
+      outputs_(static_cast<std::size_t>(params.num_ports * params.max_vcs)),
+      out_active_vcs_(static_cast<std::size_t>(params.num_ports),
+                      params.active_vcs),
+      va_rr_(static_cast<std::size_t>(params.num_ports * params.max_vcs), 0),
+      sa_in_rr_(static_cast<std::size_t>(params.num_ports), 0),
+      sa_out_rr_(static_cast<std::size_t>(params.num_ports), 0) {
+  assert(params.max_vcs % params.vc_classes == 0);
+  assert(params.active_vcs >= 1 && params.active_vcs <= params.max_vcs);
+  assert(params.active_depth >= 1 && params.active_depth <= params.max_depth);
+  for (auto& in : inputs_) in.advertised = params_.active_depth;
+}
+
+void Router::connect(PortId port, FlitChannel* in_flits,
+                     CreditChannel* out_credits, FlitChannel* out_flits,
+                     CreditChannel* in_credits) {
+  auto& w = ports_[static_cast<std::size_t>(port)];
+  w.in_flits = in_flits;
+  w.out_credits = out_credits;
+  w.out_flits = out_flits;
+  w.in_credits = in_credits;
+}
+
+void Router::init_output_credits(PortId port, int credits_per_vc) {
+  assert(credits_per_vc >= 0 && credits_per_vc <= params_.max_depth);
+  for (int v = 0; v < params_.max_vcs; ++v) {
+    ovc(port, v).credits = credits_per_vc;
+  }
+}
+
+void Router::set_output_active_vcs(PortId port, int vcs) {
+  assert(vcs >= 1 && vcs <= params_.max_vcs);
+  out_active_vcs_[static_cast<std::size_t>(port)] = vcs;
+}
+
+int Router::output_active_vcs(PortId port) const {
+  return out_active_vcs_[static_cast<std::size_t>(port)];
+}
+
+std::pair<VcId, VcId> Router::admissible_range(std::uint8_t vc_class,
+                                               PortId out_port) const {
+  const int active = out_active_vcs_[static_cast<std::size_t>(out_port)];
+  const int per_class_phys = params_.max_vcs / params_.vc_classes;
+  const int per_class_active = std::max(1, active / params_.vc_classes);
+  const VcId begin = static_cast<VcId>(vc_class) * per_class_phys;
+  const VcId end = begin + std::min(per_class_active, per_class_phys);
+  return {begin, end};
+}
+
+void Router::step(Cycle cycle) {
+  receive_phase(cycle);
+  route_compute();
+  vc_allocate();
+  switch_allocate_and_traverse(cycle);
+}
+
+void Router::receive_phase(Cycle cycle) {
+  for (int p = 0; p < params_.num_ports; ++p) {
+    auto& w = ports_[static_cast<std::size_t>(p)];
+    if (w.in_flits) {
+      while (w.in_flits->ready(cycle)) {
+        Flit flit = w.in_flits->receive(cycle);
+        assert(flit.vc >= 0 && flit.vc < params_.max_vcs);
+        InputVc& in = ivc(p, flit.vc);
+        assert(static_cast<int>(in.fifo.size()) < params_.max_depth &&
+               "credit protocol violated: input buffer overflow");
+        in.fifo.push_back(flit);
+        ++activity_.buffer_writes;
+      }
+    }
+    if (w.in_credits) {
+      while (w.in_credits->ready(cycle)) {
+        const Credit c = w.in_credits->receive(cycle);
+        OutputVc& out = ovc(p, c.vc);
+        ++out.credits;
+        assert(out.credits <= params_.max_depth &&
+               "credit protocol violated: credit overflow");
+      }
+    }
+  }
+}
+
+void Router::route_compute() {
+  for (int p = 0; p < params_.num_ports; ++p) {
+    for (int v = 0; v < params_.max_vcs; ++v) {
+      InputVc& in = ivc(p, v);
+      if (in.state != InputVc::State::kIdle || in.fifo.empty()) continue;
+      const Flit& head = in.fifo.front();
+      assert(is_head(head.type) &&
+             "input VC idle but head-of-line flit is not a packet head");
+      in.candidates.clear();
+      routing_.route(head, id_, p, in.candidates);
+      assert(!in.candidates.empty());
+      in.state = InputVc::State::kVcAlloc;
+    }
+  }
+}
+
+void Router::vc_allocate() {
+  // Stage 1: each waiting input VC nominates its single preferred
+  // (out_port, out_vc): among route candidates, the free admissible VC with
+  // the most downstream credits (adaptive routing's congestion signal).
+  struct Request {
+    PortId in_port;
+    VcId in_vc;
+  };
+  // Requests bucketed per output VC slot.
+  std::vector<std::vector<Request>> requests(outputs_.size());
+
+  for (int p = 0; p < params_.num_ports; ++p) {
+    for (int v = 0; v < params_.max_vcs; ++v) {
+      InputVc& in = ivc(p, v);
+      if (in.state != InputVc::State::kVcAlloc) continue;
+      int best_slot = -1;
+      int best_credits = -1;
+      for (const RouteChoice& cand : in.candidates) {
+        const auto [begin, end] = admissible_range(cand.vc_class, cand.port);
+        for (VcId ov = begin; ov < end; ++ov) {
+          const OutputVc& out = ovc(cand.port, ov);
+          if (out.busy) continue;
+          if (out.credits > best_credits) {
+            best_credits = out.credits;
+            best_slot = cand.port * params_.max_vcs + ov;
+          }
+        }
+        // Deterministic algorithms have one candidate; adaptive ones are
+        // compared purely on credits, so keep scanning all candidates.
+      }
+      if (best_slot >= 0) {
+        requests[static_cast<std::size_t>(best_slot)].push_back(
+            Request{p, v});
+      }
+    }
+  }
+
+  // Stage 2: round-robin grant per output VC.
+  for (std::size_t slot = 0; slot < requests.size(); ++slot) {
+    auto& reqs = requests[slot];
+    if (reqs.empty()) continue;
+    OutputVc& out = outputs_[slot];
+    assert(!out.busy);
+    int& rr = va_rr_[slot];
+    // Pick the first requester at or after the round-robin pointer, keyed by
+    // input slot index.
+    const int num_inputs = params_.num_ports * params_.max_vcs;
+    const Request* winner = nullptr;
+    int best_distance = num_inputs + 1;
+    for (const Request& r : reqs) {
+      const int idx = r.in_port * params_.max_vcs + r.in_vc;
+      const int dist = (idx - rr + num_inputs) % num_inputs;
+      if (dist < best_distance) {
+        best_distance = dist;
+        winner = &r;
+      }
+    }
+    InputVc& in = ivc(winner->in_port, winner->in_vc);
+    in.out_port = static_cast<PortId>(slot) / params_.max_vcs;
+    in.out_vc = static_cast<VcId>(slot) % params_.max_vcs;
+    in.state = InputVc::State::kActive;
+    out.busy = true;
+    rr = (winner->in_port * params_.max_vcs + winner->in_vc + 1) % num_inputs;
+    ++activity_.vc_allocs;
+  }
+}
+
+void Router::switch_allocate_and_traverse(Cycle cycle) {
+  // Stage 1: per input port, round-robin across its ACTIVE VCs that have a
+  // flit and a downstream credit.
+  struct Winner {
+    PortId in_port;
+    VcId in_vc;
+  };
+  std::vector<std::vector<Winner>> per_output(
+      static_cast<std::size_t>(params_.num_ports));
+
+  for (int p = 0; p < params_.num_ports; ++p) {
+    const int rr = sa_in_rr_[static_cast<std::size_t>(p)];
+    int chosen = -1;
+    for (int k = 0; k < params_.max_vcs; ++k) {
+      const int v = (rr + k) % params_.max_vcs;
+      InputVc& in = ivc(p, v);
+      if (in.state != InputVc::State::kActive || in.fifo.empty()) continue;
+      OutputVc& out = ovc(in.out_port, in.out_vc);
+      if (out.credits <= 0) continue;
+      chosen = v;
+      break;
+    }
+    if (chosen >= 0) {
+      ++activity_.sw_arbs;
+      const InputVc& in = ivc(p, chosen);
+      per_output[static_cast<std::size_t>(in.out_port)].push_back(
+          Winner{p, chosen});
+    }
+  }
+
+  // Stage 2: per output port, round-robin across input ports; one flit per
+  // output per cycle, then switch + link traversal.
+  for (int op = 0; op < params_.num_ports; ++op) {
+    auto& winners = per_output[static_cast<std::size_t>(op)];
+    if (winners.empty()) continue;
+    int& rr = sa_out_rr_[static_cast<std::size_t>(op)];
+    const Winner* grant = nullptr;
+    int best_distance = params_.num_ports + 1;
+    for (const Winner& w : winners) {
+      const int dist = (w.in_port - rr + params_.num_ports) % params_.num_ports;
+      if (dist < best_distance) {
+        best_distance = dist;
+        grant = &w;
+      }
+    }
+    rr = (grant->in_port + 1) % params_.num_ports;
+    // Advance the granted input port's VC round-robin so one persistently
+    // busy VC cannot starve its siblings across back-to-back packets.
+    sa_in_rr_[static_cast<std::size_t>(grant->in_port)] =
+        (grant->in_vc + 1) % params_.max_vcs;
+
+    InputVc& in = ivc(grant->in_port, grant->in_vc);
+    OutputVc& out = ovc(op, in.out_vc);
+    Flit flit = in.fifo.front();
+    in.fifo.pop_front();
+    ++activity_.buffer_reads;
+    ++activity_.xbar_traversals;
+
+    flit.vc = in.out_vc;
+    // The VC class of the link actually taken; consumed by the next router's
+    // routing function for dateline bookkeeping.
+    flit.vc_class = static_cast<std::uint8_t>(
+        in.out_vc / (params_.max_vcs / params_.vc_classes));
+    ++flit.hops;
+
+    --out.credits;
+    assert(out.credits >= 0);
+    auto& w = ports_[static_cast<std::size_t>(op)];
+    assert(w.out_flits && "port with traffic must be wired");
+    // Extra pipeline stages delay link entry; the channel keeps FIFO order
+    // because every flit gets the same extra delay.
+    w.out_flits->send(flit,
+                      cycle + static_cast<Cycle>(params_.pipeline_stages - 1));
+    ++activity_.link_flits;
+
+    release_slot(grant->in_port, grant->in_vc, cycle);
+
+    if (is_tail(flit.type)) {
+      out.busy = false;
+      in.state = InputVc::State::kIdle;
+      in.out_port = -1;
+      in.out_vc = kInvalidVc;
+      in.candidates.clear();
+    }
+  }
+}
+
+void Router::release_slot(PortId port, VcId vc, Cycle cycle) {
+  InputVc& in = ivc(port, vc);
+  if (in.advertised > params_.active_depth) {
+    // Shrinking: withhold this credit; advertised capacity drops by one.
+    --in.advertised;
+    return;
+  }
+  auto& w = ports_[static_cast<std::size_t>(port)];
+  if (w.out_credits) w.out_credits->send(Credit{vc}, cycle);
+}
+
+void Router::set_active_vcs(int vcs, Cycle /*now*/) {
+  assert(vcs >= 1 && vcs <= params_.max_vcs);
+  params_.active_vcs = vcs;
+  // Default assumption: a homogeneous network. Network overrides the
+  // per-port downstream gating right after when configs are heterogeneous.
+  std::fill(out_active_vcs_.begin(), out_active_vcs_.end(), vcs);
+}
+
+void Router::set_active_depth(int depth, Cycle now) {
+  assert(depth >= 1 && depth <= params_.max_depth);
+  params_.active_depth = depth;
+  for (int p = 0; p < params_.num_ports; ++p) {
+    auto& w = ports_[static_cast<std::size_t>(p)];
+    for (int v = 0; v < params_.max_vcs; ++v) {
+      InputVc& in = ivc(p, v);
+      // Growth: grant bonus credits immediately. Shrink happens lazily via
+      // credit withholding in release_slot().
+      while (in.advertised < depth) {
+        ++in.advertised;
+        if (w.out_credits) w.out_credits->send(Credit{v}, now);
+      }
+    }
+  }
+}
+
+int Router::buffered_flits() const {
+  int total = 0;
+  for (const auto& in : inputs_) total += static_cast<int>(in.fifo.size());
+  return total;
+}
+
+int Router::max_vc_occupancy() const {
+  int best = 0;
+  for (const auto& in : inputs_)
+    best = std::max(best, static_cast<int>(in.fifo.size()));
+  return best;
+}
+
+int Router::advertised_capacity(PortId port, VcId vc) const {
+  return ivc(port, vc).advertised;
+}
+
+int Router::output_credits(PortId port, VcId vc) const {
+  return outputs_[static_cast<std::size_t>(port * params_.max_vcs + vc)]
+      .credits;
+}
+
+int Router::input_occupancy(PortId port, VcId vc) const {
+  return static_cast<int>(ivc(port, vc).fifo.size());
+}
+
+}  // namespace drlnoc::noc

@@ -1,0 +1,167 @@
+// Input-queued virtual-channel router with credit-based flow control, in the
+// BookSim microarchitectural tradition:
+//
+//   RC  -> head flits compute route candidates
+//   VA  -> separable virtual-channel allocation (round-robin)
+//   SA  -> two-stage separable switch allocation (round-robin)
+//   ST  -> crossbar + link traversal into the output channel
+//
+// The router is *run-time reconfigurable* along the two axes the DRL
+// controller drives:
+//   * active VC count   — VA stops allocating gated VCs; in-flight packets
+//                         drain, so no flit is ever dropped;
+//   * active buffer depth — implemented exactly with credit withholding:
+//                         the downstream input unit withholds credits to
+//                         shrink advertised capacity, or grants bonus
+//                         credits to grow it (see DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "noc/channel.h"
+#include "noc/routing.h"
+#include "noc/topology.h"
+#include "noc/types.h"
+
+namespace drlnoc::noc {
+
+/// Energy-event counters; consumed by the power model and reset per epoch.
+struct RouterActivity {
+  std::uint64_t buffer_writes = 0;
+  std::uint64_t buffer_reads = 0;
+  std::uint64_t vc_allocs = 0;
+  std::uint64_t sw_arbs = 0;
+  std::uint64_t xbar_traversals = 0;
+  std::uint64_t link_flits = 0;
+
+  void reset() { *this = RouterActivity{}; }
+  RouterActivity& operator+=(const RouterActivity& o);
+};
+
+struct RouterParams {
+  int num_ports = 5;
+  int max_vcs = 4;       ///< physical VCs per port
+  int max_depth = 8;     ///< physical buffer slots per VC
+  int vc_classes = 1;    ///< 1 (mesh) or 2 (ring/torus dateline)
+  int active_vcs = 4;    ///< initial configuration
+  int active_depth = 8;  ///< initial configuration
+  /// Router pipeline depth in cycles. 1 models an aggressive single-cycle
+  /// router; larger values delay each flit's link entry by (stages - 1)
+  /// cycles, modelling RC/VA/SA/ST as separate stages.
+  int pipeline_stages = 1;
+};
+
+class Router {
+ public:
+  Router(NodeId id, RouterParams params, const RoutingAlgorithm& routing);
+
+  /// Wires one port. `in_flits`/`out_credits` form the upstream link
+  /// (flits arrive, credits go back); `out_flits`/`in_credits` form the
+  /// downstream link. Any pointer may be shared with a NIC.
+  void connect(PortId port, FlitChannel* in_flits, CreditChannel* out_credits,
+               FlitChannel* out_flits, CreditChannel* in_credits);
+
+  /// Sets the initial credit count of every VC of an output port to the
+  /// capacity advertised by the downstream input unit. Called once by
+  /// Network after wiring, before the first step().
+  void init_output_credits(PortId port, int credits_per_vc);
+
+  /// One router-clock cycle.
+  void step(Cycle cycle);
+
+  /// Reconfiguration (safe at any cycle; never drops flits).
+  void set_active_vcs(int vcs, Cycle now);
+  void set_active_depth(int depth, Cycle now);
+  int active_vcs() const { return params_.active_vcs; }
+  int active_depth() const { return params_.active_depth; }
+
+  /// VC gating is a property of the *downstream* buffers: when per-router
+  /// configurations differ, the VA stage must restrict allocations to the
+  /// VCs the next-hop router keeps active. Network propagates this after
+  /// every (re)configuration; defaults to this router's own active_vcs.
+  void set_output_active_vcs(PortId port, int vcs);
+  int output_active_vcs(PortId port) const;
+
+  NodeId id() const { return id_; }
+  const RouterParams& params() const { return params_; }
+
+  // --- observability -------------------------------------------------------
+  const RouterActivity& activity() const { return activity_; }
+  void reset_activity() { activity_.reset(); }
+  /// Total flits currently buffered in this router's input units.
+  int buffered_flits() const;
+  /// Occupancy of the fullest single input VC (congestion feature).
+  int max_vc_occupancy() const;
+  bool idle() const { return buffered_flits() == 0; }
+
+  /// Test hook: downstream-advertised capacity of one input VC
+  /// (must always equal upstream credits + credits in flight + occupancy).
+  int advertised_capacity(PortId port, VcId vc) const;
+  /// Test hook: credits this router currently holds for a downstream VC.
+  int output_credits(PortId port, VcId vc) const;
+  /// Test hook: occupancy of one input VC buffer.
+  int input_occupancy(PortId port, VcId vc) const;
+
+ private:
+  struct InputVc {
+    std::deque<Flit> fifo;
+    enum class State : std::uint8_t { kIdle, kVcAlloc, kActive } state =
+        State::kIdle;
+    std::vector<RouteChoice> candidates;
+    PortId out_port = -1;
+    VcId out_vc = kInvalidVc;
+    int advertised = 0;  ///< capacity advertised upstream (credit protocol)
+  };
+
+  struct OutputVc {
+    int credits = 0;    ///< downstream slots this router may still consume
+    bool busy = false;  ///< owned by an in-flight packet
+  };
+
+  struct PortWiring {
+    FlitChannel* in_flits = nullptr;
+    CreditChannel* out_credits = nullptr;
+    FlitChannel* out_flits = nullptr;
+    CreditChannel* in_credits = nullptr;
+  };
+
+  InputVc& ivc(PortId p, VcId v) {
+    return inputs_[static_cast<std::size_t>(p * params_.max_vcs + v)];
+  }
+  const InputVc& ivc(PortId p, VcId v) const {
+    return inputs_[static_cast<std::size_t>(p * params_.max_vcs + v)];
+  }
+  OutputVc& ovc(PortId p, VcId v) {
+    return outputs_[static_cast<std::size_t>(p * params_.max_vcs + v)];
+  }
+
+  /// Admissible out-VC index range [begin, end) for a VC class, gated by
+  /// the downstream router's active-VC configuration for `out_port`.
+  std::pair<VcId, VcId> admissible_range(std::uint8_t vc_class,
+                                         PortId out_port) const;
+
+  void receive_phase(Cycle cycle);
+  void route_compute();
+  void vc_allocate();
+  void switch_allocate_and_traverse(Cycle cycle);
+  /// Frees one input slot: sends a credit upstream or withholds it when the
+  /// advertised capacity must shrink toward the configured depth.
+  void release_slot(PortId port, VcId vc, Cycle cycle);
+
+  NodeId id_;
+  RouterParams params_;
+  const RoutingAlgorithm& routing_;
+  std::vector<PortWiring> ports_;
+  std::vector<InputVc> inputs_;
+  std::vector<OutputVc> outputs_;
+  std::vector<int> out_active_vcs_;  ///< per output port (downstream gating)
+  // Round-robin pointers.
+  std::vector<int> va_rr_;       // per output VC
+  std::vector<int> sa_in_rr_;    // per input port
+  std::vector<int> sa_out_rr_;   // per output port
+  RouterActivity activity_;
+};
+
+}  // namespace drlnoc::noc

@@ -1,0 +1,161 @@
+#include "noc/routing.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace drlnoc::noc {
+
+namespace {
+constexpr PortId kEast = 1;
+constexpr PortId kWest = 2;
+constexpr PortId kNorth = 3;
+constexpr PortId kSouth = 4;
+constexpr PortId kCw = 1;
+constexpr PortId kCcw = 2;
+
+// Dimension of a mesh/torus port: 0 = x, 1 = y, -1 = local.
+int dim_of(PortId p) {
+  if (p == kEast || p == kWest) return 0;
+  if (p == kNorth || p == kSouth) return 1;
+  return -1;
+}
+}  // namespace
+
+void MeshXY::route(const Flit& flit, NodeId node, PortId /*in_port*/,
+                   std::vector<RouteChoice>& out) const {
+  const int cx = mesh_.x_of(node), cy = mesh_.y_of(node);
+  const int dx = mesh_.x_of(flit.dst) - cx, dy = mesh_.y_of(flit.dst) - cy;
+  if (dx > 0) out.push_back({kEast, 0});
+  else if (dx < 0) out.push_back({kWest, 0});
+  else if (dy > 0) out.push_back({kNorth, 0});
+  else if (dy < 0) out.push_back({kSouth, 0});
+  else out.push_back({kLocalPort, 0});
+}
+
+void MeshYX::route(const Flit& flit, NodeId node, PortId /*in_port*/,
+                   std::vector<RouteChoice>& out) const {
+  const int cx = mesh_.x_of(node), cy = mesh_.y_of(node);
+  const int dx = mesh_.x_of(flit.dst) - cx, dy = mesh_.y_of(flit.dst) - cy;
+  if (dy > 0) out.push_back({kNorth, 0});
+  else if (dy < 0) out.push_back({kSouth, 0});
+  else if (dx > 0) out.push_back({kEast, 0});
+  else if (dx < 0) out.push_back({kWest, 0});
+  else out.push_back({kLocalPort, 0});
+}
+
+void MeshWestFirst::route(const Flit& flit, NodeId node, PortId /*in_port*/,
+                          std::vector<RouteChoice>& out) const {
+  const int cx = mesh_.x_of(node), cy = mesh_.y_of(node);
+  const int dx = mesh_.x_of(flit.dst) - cx, dy = mesh_.y_of(flit.dst) - cy;
+  if (dx == 0 && dy == 0) {
+    out.push_back({kLocalPort, 0});
+    return;
+  }
+  if (dx < 0) {
+    // West-first rule: all westward hops are taken before anything else.
+    out.push_back({kWest, 0});
+    return;
+  }
+  // Adaptive among the remaining minimal directions (east / north / south).
+  if (dx > 0) out.push_back({kEast, 0});
+  if (dy > 0) out.push_back({kNorth, 0});
+  if (dy < 0) out.push_back({kSouth, 0});
+}
+
+void MeshOddEven::route(const Flit& flit, NodeId node, PortId /*in_port*/,
+                        std::vector<RouteChoice>& out) const {
+  // Chiu's ROUTE function. Even columns forbid E->N and E->S turns; odd
+  // columns forbid N->W and S->W turns; the candidate set below respects
+  // both restrictions and stays minimal.
+  const int cx = mesh_.x_of(node), cy = mesh_.y_of(node);
+  const int sx = mesh_.x_of(flit.src);
+  const int dxl = mesh_.x_of(flit.dst), dyl = mesh_.y_of(flit.dst);
+  const int ex = dxl - cx, ey = dyl - cy;
+  if (ex == 0 && ey == 0) {
+    out.push_back({kLocalPort, 0});
+    return;
+  }
+  auto vertical = [&] { out.push_back({ey > 0 ? kNorth : kSouth, 0}); };
+  if (ex == 0) {
+    vertical();
+    return;
+  }
+  if (ex > 0) {  // eastbound
+    if (ey == 0) {
+      out.push_back({kEast, 0});
+      return;
+    }
+    if ((cx % 2 == 1) || cx == sx) vertical();
+    if ((dxl % 2 == 1) || ex != 1) out.push_back({kEast, 0});
+  } else {  // westbound
+    out.push_back({kWest, 0});
+    if (cx % 2 == 0 && ey != 0) vertical();
+  }
+  assert(!out.empty());
+}
+
+void TorusDor::route(const Flit& flit, NodeId node, PortId in_port,
+                     std::vector<RouteChoice>& out) const {
+  const int w = torus_.width(), h = torus_.height();
+  const int cx = torus_.x_of(node), cy = torus_.y_of(node);
+  const int dx = torus_.x_of(flit.dst), dy = torus_.y_of(flit.dst);
+
+  PortId port;
+  if (cx != dx) {
+    // Minimal direction in x; ties go east.
+    const int fwd = (dx - cx + w) % w;  // hops going east
+    port = (fwd <= w - fwd) ? kEast : kWest;
+  } else if (cy != dy) {
+    const int fwd = (dy - cy + h) % h;
+    port = (fwd <= h - fwd) ? kNorth : kSouth;
+  } else {
+    out.push_back({kLocalPort, 0});
+    return;
+  }
+
+  // Dateline class: reset to 0 when entering a new dimension, escalate to 1
+  // when this hop crosses the wrap link of the current dimension.
+  std::uint8_t cls =
+      (dim_of(in_port) == dim_of(port)) ? flit.vc_class : std::uint8_t{0};
+  if (torus_.crosses_dateline(node, port)) cls = 1;
+  out.push_back({port, cls});
+}
+
+void RingShortest::route(const Flit& flit, NodeId node, PortId /*in_port*/,
+                         std::vector<RouteChoice>& out) const {
+  const int n = ring_.num_nodes();
+  if (node == flit.dst) {
+    out.push_back({kLocalPort, 0});
+    return;
+  }
+  const int fwd = (flit.dst - node + n) % n;  // hops clockwise
+  const PortId port = (fwd <= n - fwd) ? kCw : kCcw;
+  std::uint8_t cls = flit.vc_class;  // one dimension: class persists
+  if (ring_.crosses_dateline(node, port)) cls = 1;
+  out.push_back({port, cls});
+}
+
+std::unique_ptr<RoutingAlgorithm> make_routing(const std::string& kind,
+                                               const Topology& topo) {
+  const auto* mesh = dynamic_cast<const Mesh2D*>(&topo);
+  const auto* torus = dynamic_cast<const Torus2D*>(&topo);
+  const auto* ring = dynamic_cast<const Ring*>(&topo);
+
+  std::string k = kind;
+  if (k == "auto") {
+    if (mesh) k = "xy";
+    else if (torus) k = "torus_dor";
+    else if (ring) k = "ring_shortest";
+  }
+
+  if (k == "xy" && mesh) return std::make_unique<MeshXY>(*mesh);
+  if (k == "yx" && mesh) return std::make_unique<MeshYX>(*mesh);
+  if (k == "westfirst" && mesh) return std::make_unique<MeshWestFirst>(*mesh);
+  if (k == "oddeven" && mesh) return std::make_unique<MeshOddEven>(*mesh);
+  if (k == "torus_dor" && torus) return std::make_unique<TorusDor>(*torus);
+  if (k == "ring_shortest" && ring) return std::make_unique<RingShortest>(*ring);
+  throw std::invalid_argument("routing '" + kind +
+                              "' incompatible with topology " + topo.name());
+}
+
+}  // namespace drlnoc::noc

@@ -1,0 +1,121 @@
+// Routing algorithms. A routing function maps (current router, input port,
+// head flit) to an ordered list of candidate output ports, each with the VC
+// *class* the packet must use on that hop (dateline deadlock avoidance on
+// rings/tori). Deterministic algorithms return one candidate; adaptive ones
+// return several and the router picks by downstream credit availability.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "noc/topology.h"
+#include "noc/types.h"
+
+namespace drlnoc::noc {
+
+struct RouteChoice {
+  PortId port = kLocalPort;
+  std::uint8_t vc_class = 0;  ///< admissible VC class on the chosen link
+};
+
+class RoutingAlgorithm {
+ public:
+  virtual ~RoutingAlgorithm() = default;
+  virtual std::string name() const = 0;
+  /// Appends candidates (preference order) for `flit` at router `node`
+  /// arriving via `in_port` (kLocalPort for freshly injected packets).
+  /// Must always produce at least one candidate; candidates must never
+  /// include the inbound port (no U-turns).
+  virtual void route(const Flit& flit, NodeId node, PortId in_port,
+                     std::vector<RouteChoice>& out) const = 0;
+  /// True when the algorithm may return more than one candidate.
+  virtual bool adaptive() const { return false; }
+};
+
+/// Deterministic dimension-order X-then-Y routing on a 2-D mesh.
+class MeshXY : public RoutingAlgorithm {
+ public:
+  explicit MeshXY(const Mesh2D& mesh) : mesh_(mesh) {}
+  std::string name() const override { return "xy"; }
+  void route(const Flit& flit, NodeId node, PortId in_port,
+             std::vector<RouteChoice>& out) const override;
+
+ private:
+  const Mesh2D& mesh_;
+};
+
+/// Deterministic Y-then-X routing on a 2-D mesh.
+class MeshYX : public RoutingAlgorithm {
+ public:
+  explicit MeshYX(const Mesh2D& mesh) : mesh_(mesh) {}
+  std::string name() const override { return "yx"; }
+  void route(const Flit& flit, NodeId node, PortId in_port,
+             std::vector<RouteChoice>& out) const override;
+
+ private:
+  const Mesh2D& mesh_;
+};
+
+/// West-first turn-model adaptive routing on a 2-D mesh (Glass & Ni).
+/// Westward hops are taken first and deterministically; east/north/south
+/// segments are fully adaptive.
+class MeshWestFirst : public RoutingAlgorithm {
+ public:
+  explicit MeshWestFirst(const Mesh2D& mesh) : mesh_(mesh) {}
+  std::string name() const override { return "westfirst"; }
+  bool adaptive() const override { return true; }
+  void route(const Flit& flit, NodeId node, PortId in_port,
+             std::vector<RouteChoice>& out) const override;
+
+ private:
+  const Mesh2D& mesh_;
+};
+
+/// Odd-even turn-model adaptive routing on a 2-D mesh (Chiu 2000).
+class MeshOddEven : public RoutingAlgorithm {
+ public:
+  explicit MeshOddEven(const Mesh2D& mesh) : mesh_(mesh) {}
+  std::string name() const override { return "oddeven"; }
+  bool adaptive() const override { return true; }
+  void route(const Flit& flit, NodeId node, PortId in_port,
+             std::vector<RouteChoice>& out) const override;
+
+ private:
+  const Mesh2D& mesh_;
+};
+
+/// Dimension-order routing on a 2-D torus with minimal wrap direction and
+/// dateline VC classes: a packet moves to class 1 after crossing the wrap
+/// link of the dimension it is travelling in, and resets to class 0 when it
+/// enters a new dimension.
+class TorusDor : public RoutingAlgorithm {
+ public:
+  explicit TorusDor(const Torus2D& torus) : torus_(torus) {}
+  std::string name() const override { return "torus_dor"; }
+  void route(const Flit& flit, NodeId node, PortId in_port,
+             std::vector<RouteChoice>& out) const override;
+
+ private:
+  const Torus2D& torus_;
+};
+
+/// Shortest-direction routing on a bidirectional ring with dateline classes.
+class RingShortest : public RoutingAlgorithm {
+ public:
+  explicit RingShortest(const Ring& ring) : ring_(ring) {}
+  std::string name() const override { return "ring_shortest"; }
+  void route(const Flit& flit, NodeId node, PortId in_port,
+             std::vector<RouteChoice>& out) const override;
+
+ private:
+  const Ring& ring_;
+};
+
+/// Factory. `kind`: "xy", "yx", "westfirst", "oddeven" (mesh);
+/// "torus_dor" (torus); "ring_shortest" (ring). "auto" picks the natural
+/// deterministic algorithm for the topology.
+std::unique_ptr<RoutingAlgorithm> make_routing(const std::string& kind,
+                                               const Topology& topo);
+
+}  // namespace drlnoc::noc

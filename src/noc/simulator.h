@@ -1,0 +1,38 @@
+// Steady-state measurement methodology (warm-up -> measurement -> drain),
+// the standard protocol behind load-latency and throughput curves.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "noc/network.h"
+#include "noc/workload.h"
+
+namespace drlnoc::noc {
+
+struct SteadyRunParams {
+  std::uint64_t warmup_cycles = 2000;    ///< router cycles, unmeasured
+  std::uint64_t measure_cycles = 8000;   ///< router cycles, measured window
+  std::uint64_t drain_limit = 100000;    ///< max extra cycles waiting to drain
+};
+
+struct SteadyResult {
+  EpochStats stats;           ///< the measurement window
+  bool saturated = false;     ///< backlog kept growing: offered > capacity
+  bool drained = false;       ///< all measured packets retired in the limit
+  double offered_rate = 0.0;  ///< configured packets/node/core-cycle
+};
+
+/// Runs the full warm-up / measure / drain protocol on `net` with `workload`.
+/// The measurement window's statistics cover packets *generated* during the
+/// window (latency recorded at ejection, including post-window ejections).
+SteadyResult run_steady_state(Network& net, TrafficInjector& workload,
+                              const SteadyRunParams& params = {});
+
+/// Convenience wrapper: builds a fresh network with the given parameters,
+/// runs a steady-state experiment at `rate` on `pattern`, returns stats.
+SteadyResult measure_point(const NetworkParams& net_params,
+                           const std::string& pattern, double rate,
+                           const SteadyRunParams& run_params = {});
+
+}  // namespace drlnoc::noc

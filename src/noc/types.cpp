@@ -1,0 +1,29 @@
+#include "noc/types.h"
+
+#include <sstream>
+
+namespace drlnoc::noc {
+
+namespace {
+const char* type_name(FlitType t) {
+  switch (t) {
+    case FlitType::kHead: return "H";
+    case FlitType::kBody: return "B";
+    case FlitType::kTail: return "T";
+    case FlitType::kHeadTail: return "HT";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string to_string(const Flit& flit) {
+  std::ostringstream oss;
+  oss << "flit{pkt=" << flit.packet_id << " " << type_name(flit.type)
+      << " seq=" << flit.seq << "/" << flit.packet_len << " " << flit.src
+      << "->" << flit.dst << " vc=" << flit.vc
+      << " cls=" << static_cast<int>(flit.vc_class)
+      << " hops=" << flit.hops << "}";
+  return oss.str();
+}
+
+}  // namespace drlnoc::noc

@@ -1,0 +1,57 @@
+// Fundamental value types of the flit-level NoC simulator: flits, credits,
+// and packet descriptors. Everything here is a plain value type; identity and
+// ownership live in the router/NIC classes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace drlnoc::noc {
+
+using NodeId = int;       ///< router / tile index
+using PortId = int;       ///< router port index (0 is always the local port)
+using VcId = int;         ///< virtual-channel index within a port
+using Cycle = std::uint64_t;
+
+inline constexpr PortId kLocalPort = 0;
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr VcId kInvalidVc = -1;
+
+enum class FlitType : std::uint8_t {
+  kHead,      ///< first flit of a multi-flit packet; carries routing info
+  kBody,
+  kTail,      ///< last flit; releases the virtual channel
+  kHeadTail,  ///< single-flit packet
+};
+
+inline bool is_head(FlitType t) {
+  return t == FlitType::kHead || t == FlitType::kHeadTail;
+}
+inline bool is_tail(FlitType t) {
+  return t == FlitType::kTail || t == FlitType::kHeadTail;
+}
+
+/// One flow-control unit. Copied by value through channels and buffers.
+struct Flit {
+  std::uint64_t packet_id = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  FlitType type = FlitType::kHeadTail;
+  std::uint16_t seq = 0;          ///< position within the packet
+  std::uint16_t packet_len = 1;   ///< total flits in the packet
+  double inject_time = 0.0;       ///< core-clock time at generation
+  std::uint8_t vc_class = 0;      ///< dateline class (ring/torus deadlock)
+  VcId vc = 0;                    ///< VC on the link it currently occupies
+  bool measured = false;          ///< true if within the measurement window
+  std::uint32_t hops = 0;         ///< router traversals so far
+};
+
+/// Credit returned upstream when a buffer slot frees.
+struct Credit {
+  VcId vc = 0;
+};
+
+/// Human-readable flit description, used in error paths and tests.
+std::string to_string(const Flit& flit);
+
+}  // namespace drlnoc::noc

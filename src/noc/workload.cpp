@@ -1,0 +1,90 @@
+#include "noc/workload.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace drlnoc::noc {
+
+SteadyWorkload::SteadyWorkload(std::unique_ptr<TrafficPattern> pattern,
+                               std::unique_ptr<InjectionProcess> process,
+                               double rate)
+    : pattern_(std::move(pattern)), process_(std::move(process)),
+      rate_(rate) {
+  if (!pattern_ || !process_)
+    throw std::invalid_argument("SteadyWorkload needs pattern and process");
+  if (rate < 0.0 || rate > 1.0)
+    throw std::invalid_argument("rate must be within [0, 1] packets/cycle");
+}
+
+SteadyWorkload SteadyWorkload::make(const Topology& topo,
+                                    const std::string& pattern, double rate,
+                                    const std::string& process) {
+  return SteadyWorkload(make_pattern(pattern, topo),
+                        make_injection(process, topo.num_nodes()), rate);
+}
+
+NodeId SteadyWorkload::generate(NodeId src, double /*core_time*/,
+                                util::Rng& rng) {
+  if (!process_->fire(src, rate_, rng)) return kInvalidNode;
+  return pattern_->dest(src, rng);
+}
+
+std::string SteadyWorkload::name() const {
+  return pattern_->name() + "@" + std::to_string(rate_);
+}
+
+PhasedWorkload::PhasedWorkload(const Topology& topo, std::vector<Phase> phases)
+    : phases_(std::move(phases)) {
+  if (phases_.empty())
+    throw std::invalid_argument("PhasedWorkload needs >= 1 phase");
+  for (const Phase& ph : phases_) {
+    if (ph.duration_core_cycles <= 0.0)
+      throw std::invalid_argument("phase duration must be positive");
+    Compiled c;
+    c.pattern = make_pattern(ph.pattern, topo);
+    c.process = make_injection(ph.process, topo.num_nodes());
+    compiled_.push_back(std::move(c));
+    total_duration_ += ph.duration_core_cycles;
+  }
+}
+
+std::size_t PhasedWorkload::phase_index(double core_time) const {
+  double t = std::fmod(core_time + offset_, total_duration_);
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (t < phases_[i].duration_core_cycles) return i;
+    t -= phases_[i].duration_core_cycles;
+  }
+  return phases_.size() - 1;
+}
+
+int PhasedWorkload::packet_length(double core_time) const {
+  return phases_[phase_index(core_time)].flits_per_packet;
+}
+
+NodeId PhasedWorkload::generate(NodeId src, double core_time,
+                                util::Rng& rng) {
+  const std::size_t idx = phase_index(core_time);
+  const Phase& ph = phases_[idx];
+  Compiled& c = compiled_[idx];
+  if (!c.process->fire(src, ph.rate, rng)) return kInvalidNode;
+  return c.pattern->dest(src, rng);
+}
+
+std::vector<Phase> PhasedWorkload::standard_phases(const Topology& topo,
+                                                   double scale) {
+  const auto* mesh = dynamic_cast<const Mesh2D*>(&topo);
+  const bool square = mesh && mesh->width() == mesh->height();
+  const std::string third = square ? "transpose" : "uniform";
+  // Rates are chosen so the burst phase transiently oversubscribes the
+  // hotspots (on-state rate is 5x the mean) but stays drainable on average:
+  // the controller is rewarded for riding bursts, not doomed by them.
+  return {
+      {"uniform", 0.005 * scale, 6e3, "bernoulli"},   // near-idle trickle
+      {"uniform", 0.08 * scale, 6e3, "bernoulli"},    // moderate phase
+      {"hotspot", 0.05 * scale, 6e3, "burst"},        // bursty hotspot phase
+      {third, 0.06 * scale, 6e3, "bernoulli"},        // structured moderate
+  };
+}
+
+}  // namespace drlnoc::noc

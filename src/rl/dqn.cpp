@@ -1,0 +1,209 @@
+#include "rl/dqn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "nn/loss.h"
+
+namespace drlnoc::rl {
+
+namespace {
+std::vector<std::size_t> layer_sizes(std::size_t in,
+                                     const std::vector<std::size_t>& hidden,
+                                     int out) {
+  std::vector<std::size_t> sizes;
+  sizes.push_back(in);
+  for (std::size_t h : hidden) sizes.push_back(h);
+  sizes.push_back(static_cast<std::size_t>(out));
+  return sizes;
+}
+
+nn::Matrix to_matrix(const State& s) {
+  nn::Matrix m(1, s.size());
+  m.set_row(0, s);
+  return m;
+}
+
+nn::Matrix stack_states(const std::vector<Transition>& batch, bool next) {
+  assert(!batch.empty());
+  const std::size_t cols =
+      next ? batch.front().next_state.size() : batch.front().state.size();
+  nn::Matrix m(batch.size(), cols);
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    m.set_row(r, next ? batch[r].next_state : batch[r].state);
+  }
+  return m;
+}
+
+std::size_t argmax_row(const nn::Matrix& m, std::size_t row) {
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < m.cols(); ++c) {
+    if (m.at(row, c) > m.at(row, best)) best = c;
+  }
+  return best;
+}
+}  // namespace
+
+DqnAgent::DqnAgent(std::size_t state_size, int num_actions, DqnParams params)
+    : state_size_(state_size), num_actions_(num_actions),
+      params_(std::move(params)), rng_(params_.seed),
+      online_(layer_sizes(state_size, params_.hidden, num_actions),
+              nn::Activation::kReLU, rng_, params_.dueling),
+      target_(online_),
+      optimizer_(nn::make_optimizer(params_.optimizer, params_.lr)),
+      epsilon_(params_.epsilon_start, params_.epsilon_end,
+               params_.epsilon_decay_steps) {
+  if (num_actions < 1) throw std::invalid_argument("need >= 1 action");
+  if (params_.n_step < 1) throw std::invalid_argument("n_step must be >= 1");
+  if (params_.prioritized) {
+    prioritized_replay_ = std::make_unique<PrioritizedReplayBuffer>(
+        params_.replay_capacity, params_.per_alpha, params_.per_beta);
+  } else {
+    uniform_replay_ = std::make_unique<ReplayBuffer>(params_.replay_capacity);
+  }
+}
+
+double DqnAgent::epsilon() const { return epsilon_.value(env_steps_); }
+
+std::size_t DqnAgent::replay_size() const {
+  return params_.prioritized ? prioritized_replay_->size()
+                             : uniform_replay_->size();
+}
+
+int DqnAgent::act(const State& state) {
+  assert(state.size() == state_size_);
+  if (rng_.chance(epsilon())) {
+    return static_cast<int>(rng_.below(static_cast<std::uint64_t>(num_actions_)));
+  }
+  return act_greedy(state);
+}
+
+int DqnAgent::act_greedy(const State& state) {
+  const nn::Matrix q = online_.forward(to_matrix(state));
+  return static_cast<int>(argmax_row(q, 0));
+}
+
+std::vector<double> DqnAgent::q_values(const State& state) {
+  return online_.forward(to_matrix(state)).row(0);
+}
+
+void DqnAgent::store(Transition t) {
+  if (t.discount == 0.0) t.discount = params_.gamma;
+  if (params_.prioritized) prioritized_replay_->push(std::move(t));
+  else uniform_replay_->push(std::move(t));
+}
+
+void DqnAgent::push_n_step(const Transition& t) {
+  n_step_window_.push_back(t);
+  auto emit_front = [&] {
+    // Aggregate from the window head: R = sum_i gamma^i r_i, bootstrapping
+    // from the last reached state with discount gamma^k.
+    Transition agg = n_step_window_.front();
+    double discount = params_.gamma;
+    double reward = agg.reward;
+    double g = params_.gamma;
+    for (std::size_t i = 1; i < n_step_window_.size(); ++i) {
+      const Transition& step = n_step_window_[i];
+      reward += g * step.reward;
+      g *= params_.gamma;
+      discount *= params_.gamma;
+      agg.next_state = step.next_state;
+      agg.done = step.done;
+      if (step.done) break;
+    }
+    agg.reward = reward;
+    agg.discount = discount;
+    store(std::move(agg));
+    n_step_window_.pop_front();
+  };
+  if (t.done) {
+    while (!n_step_window_.empty()) emit_front();
+  } else if (n_step_window_.size() >=
+             static_cast<std::size_t>(params_.n_step)) {
+    emit_front();
+  }
+}
+
+std::optional<double> DqnAgent::observe(const Transition& t) {
+  assert(t.state.size() == state_size_ && t.next_state.size() == state_size_);
+  if (params_.n_step > 1) push_n_step(t);
+  else store(t);
+  ++env_steps_;
+  if (replay_size() < std::max<std::size_t>(params_.min_replay,
+                                            params_.batch_size)) {
+    return std::nullopt;
+  }
+  return learn();
+}
+
+double DqnAgent::td_target(const Transition& t,
+                           const nn::Matrix& q_next_online,
+                           const nn::Matrix& q_next_target,
+                           std::size_t row) const {
+  if (t.done) return t.reward;
+  double bootstrap;
+  if (params_.double_dqn) {
+    // Online net selects, target net evaluates.
+    const std::size_t a_star = argmax_row(q_next_online, row);
+    bootstrap = q_next_target.at(row, a_star);
+  } else {
+    bootstrap = q_next_target.at(row, argmax_row(q_next_target, row));
+  }
+  const double discount = t.discount > 0.0 ? t.discount : params_.gamma;
+  return t.reward + discount * bootstrap;
+}
+
+double DqnAgent::learn() {
+  SampledBatch batch =
+      params_.prioritized
+          ? prioritized_replay_->sample(params_.batch_size, rng_)
+          : uniform_replay_->sample(params_.batch_size, rng_);
+
+  const nn::Matrix next_states = stack_states(batch.transitions, true);
+  const nn::Matrix q_next_target = target_.forward(next_states);
+  // For Double-DQN the online net's next-state values pick the action.
+  // (This forward pass must come before the training forward pass so layer
+  // caches hold the training batch when backward() runs.)
+  nn::Matrix q_next_online;
+  if (params_.double_dqn) q_next_online = online_.forward(next_states);
+
+  std::vector<int> actions(batch.transitions.size());
+  std::vector<double> targets(batch.transitions.size());
+  for (std::size_t i = 0; i < batch.transitions.size(); ++i) {
+    actions[i] = batch.transitions[i].action;
+    targets[i] = td_target(batch.transitions[i], q_next_online, q_next_target,
+                           i);
+  }
+
+  const nn::Matrix states = stack_states(batch.transitions, false);
+  const nn::Matrix q = online_.forward(states);
+  const nn::MaskedLossResult loss =
+      nn::masked_huber_loss(q, actions, targets, batch.weights);
+
+  online_.zero_grads();
+  online_.backward(loss.grad);
+  online_.clip_grad_norm(params_.grad_clip);
+  optimizer_->step(online_.params(), online_.grads());
+
+  if (params_.prioritized) {
+    prioritized_replay_->update_priorities(batch.indices, loss.td_abs);
+  }
+
+  ++learn_steps_;
+  if (params_.tau > 0.0) {
+    target_.soft_update_from(online_, params_.tau);
+  } else if (learn_steps_ % params_.target_sync_every == 0) {
+    target_.copy_weights_from(online_);
+  }
+  return loss.loss;
+}
+
+void DqnAgent::save(std::ostream& os) const { online_.save(os); }
+
+void DqnAgent::load_weights(std::istream& is) {
+  online_ = nn::Mlp::load(is);
+  target_.copy_weights_from(online_);
+}
+
+}  // namespace drlnoc::rl

@@ -1,0 +1,95 @@
+// Deep Q-Network agent (Mnih et al. 2015) with the standard stabilizers:
+// experience replay (uniform or prioritized), a periodically synced target
+// network, Huber loss, gradient clipping, epsilon-greedy exploration, and an
+// optional Double-DQN target (van Hasselt et al. 2016).
+#pragma once
+
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "rl/env.h"
+#include "rl/replay.h"
+#include "rl/schedule.h"
+#include "util/rng.h"
+
+namespace drlnoc::rl {
+
+struct DqnParams {
+  std::vector<std::size_t> hidden = {64, 64};
+  double gamma = 0.9;
+  double lr = 1e-3;
+  std::string optimizer = "adam";
+  std::size_t replay_capacity = 20000;
+  std::size_t batch_size = 32;
+  std::size_t min_replay = 256;        ///< learning starts after this many
+  std::uint64_t target_sync_every = 250;  ///< learn steps between hard syncs
+  double grad_clip = 10.0;
+  bool double_dqn = true;
+  bool dueling = false;       ///< dueling V/A head (Wang et al. 2016)
+  int n_step = 1;             ///< n-step return aggregation
+  double tau = 0.0;           ///< >0: Polyak soft target update per learn
+                              ///< step (disables periodic hard sync)
+  bool prioritized = false;
+  double per_alpha = 0.6;
+  double per_beta = 0.4;
+  double epsilon_start = 1.0;
+  double epsilon_end = 0.05;
+  std::uint64_t epsilon_decay_steps = 4000;
+  std::uint64_t seed = 7;
+};
+
+class DqnAgent {
+ public:
+  DqnAgent(std::size_t state_size, int num_actions, DqnParams params);
+
+  /// Epsilon-greedy action for training.
+  int act(const State& state);
+  /// Greedy action (evaluation).
+  int act_greedy(const State& state);
+  /// Q-values of a state (evaluation / inspection).
+  std::vector<double> q_values(const State& state);
+
+  /// Stores a transition and performs one learning step when ready.
+  /// Returns the loss if a gradient step happened.
+  std::optional<double> observe(const Transition& t);
+
+  double epsilon() const;
+  std::uint64_t steps() const { return env_steps_; }
+  std::uint64_t learn_steps() const { return learn_steps_; }
+  std::size_t replay_size() const;
+  const DqnParams& params() const { return params_; }
+
+  void save(std::ostream& os) const;
+  void load_weights(std::istream& is);
+
+ private:
+  /// Folds the n-step window into aggregated transitions pushed to replay.
+  void push_n_step(const Transition& t);
+  void store(Transition t);
+  double learn();
+  /// Regression target for one transition, per DQN / Double-DQN rule.
+  double td_target(const Transition& t, const nn::Matrix& q_next_online,
+                   const nn::Matrix& q_next_target, std::size_t row) const;
+
+  std::size_t state_size_;
+  int num_actions_;
+  DqnParams params_;
+  util::Rng rng_;
+  nn::Mlp online_;
+  nn::Mlp target_;
+  std::unique_ptr<nn::Optimizer> optimizer_;
+  LinearSchedule epsilon_;
+  std::unique_ptr<ReplayBuffer> uniform_replay_;
+  std::unique_ptr<PrioritizedReplayBuffer> prioritized_replay_;
+  std::deque<Transition> n_step_window_;
+  std::uint64_t env_steps_ = 0;
+  std::uint64_t learn_steps_ = 0;
+};
+
+}  // namespace drlnoc::rl

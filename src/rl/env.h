@@ -1,0 +1,44 @@
+// The discrete-action RL environment interface (episodic MDP) and small
+// shared types. Kept deliberately minimal: states are dense feature vectors,
+// actions are indices — exactly what the NoC configuration MDP needs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace drlnoc::rl {
+
+using State = std::vector<double>;
+
+struct StepResult {
+  State next_state;
+  double reward = 0.0;
+  bool done = false;
+};
+
+class Environment {
+ public:
+  virtual ~Environment() = default;
+  virtual std::string name() const = 0;
+  virtual std::size_t state_size() const = 0;
+  virtual int num_actions() const = 0;
+  /// Starts a new episode and returns the initial state.
+  virtual State reset() = 0;
+  /// Applies an action.
+  virtual StepResult step(int action) = 0;
+};
+
+/// One transition for replay. `discount` is the bootstrap discount applied
+/// to the next-state value — gamma for 1-step transitions, gamma^n for
+/// n-step aggregates; 0.0 means "use the agent's gamma" (default).
+struct Transition {
+  State state;
+  int action = 0;
+  double reward = 0.0;
+  State next_state;
+  bool done = false;
+  double discount = 0.0;
+};
+
+}  // namespace drlnoc::rl

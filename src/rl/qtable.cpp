@@ -1,0 +1,73 @@
+#include "rl/qtable.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace drlnoc::rl {
+
+QTableAgent::QTableAgent(std::size_t state_size, int num_actions,
+                         QTableParams params)
+    : state_size_(state_size), num_actions_(num_actions),
+      params_(params), rng_(params.seed) {}
+
+std::uint64_t QTableAgent::key_of(const State& state) const {
+  assert(state.size() == state_size_);
+  // FNV-style mixing of per-feature bin indices; features are expected to be
+  // roughly normalized, values outside [0,1] clamp to the edge bins.
+  std::uint64_t key = 1469598103934665603ULL;
+  for (double v : state) {
+    const double clamped = std::clamp(v, 0.0, 1.0);
+    auto bin = static_cast<std::uint64_t>(
+        std::min<double>(params_.bins_per_feature - 1,
+                         clamped * params_.bins_per_feature));
+    key ^= bin + 0x9e3779b97f4a7c15ULL + (key << 6) + (key >> 2);
+  }
+  return key;
+}
+
+std::vector<double>& QTableAgent::q_row(std::uint64_t key) {
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    it = table_.emplace(key, std::vector<double>(
+                                 static_cast<std::size_t>(num_actions_), 0.0))
+             .first;
+  }
+  return it->second;
+}
+
+double QTableAgent::epsilon() const {
+  const double frac = std::min(
+      1.0, static_cast<double>(steps_) /
+               static_cast<double>(params_.epsilon_decay_steps));
+  return params_.epsilon_start +
+         frac * (params_.epsilon_end - params_.epsilon_start);
+}
+
+int QTableAgent::act(const State& state) {
+  if (rng_.chance(epsilon())) {
+    return static_cast<int>(rng_.below(static_cast<std::uint64_t>(num_actions_)));
+  }
+  return act_greedy(state);
+}
+
+int QTableAgent::act_greedy(const State& state) {
+  auto& row = q_row(key_of(state));
+  return static_cast<int>(
+      std::max_element(row.begin(), row.end()) - row.begin());
+}
+
+void QTableAgent::observe(const Transition& t) {
+  auto& row = q_row(key_of(t.state));
+  double bootstrap = 0.0;
+  if (!t.done) {
+    const auto& next_row = q_row(key_of(t.next_state));
+    bootstrap = *std::max_element(next_row.begin(), next_row.end());
+  }
+  const double target = t.reward + params_.gamma * bootstrap;
+  auto a = static_cast<std::size_t>(t.action);
+  row[a] += params_.alpha * (target - row[a]);
+  ++steps_;
+}
+
+}  // namespace drlnoc::rl

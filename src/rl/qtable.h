@@ -1,0 +1,52 @@
+// Tabular Q-learning baseline over a discretized feature space. Used by the
+// ablation study (T3) to quantify what the deep function approximator buys.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rl/env.h"
+#include "util/rng.h"
+
+namespace drlnoc::rl {
+
+struct QTableParams {
+  int bins_per_feature = 4;     ///< each state feature is discretized into
+                                ///< this many uniform bins over [0, 1]
+  double gamma = 0.9;
+  double alpha = 0.2;           ///< learning rate
+  double epsilon_start = 1.0;
+  double epsilon_end = 0.05;
+  std::uint64_t epsilon_decay_steps = 4000;
+  std::uint64_t seed = 11;
+};
+
+class QTableAgent {
+ public:
+  QTableAgent(std::size_t state_size, int num_actions, QTableParams params);
+
+  int act(const State& state);
+  int act_greedy(const State& state);
+  /// One Q-learning backup.
+  void observe(const Transition& t);
+
+  double epsilon() const;
+  std::size_t table_size() const { return table_.size(); }
+  std::uint64_t steps() const { return steps_; }
+
+  /// Test hook: discretized key of a state.
+  std::uint64_t key_of(const State& state) const;
+
+ private:
+  std::vector<double>& q_row(std::uint64_t key);
+
+  std::size_t state_size_;
+  int num_actions_;
+  QTableParams params_;
+  util::Rng rng_;
+  std::unordered_map<std::uint64_t, std::vector<double>> table_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace drlnoc::rl

@@ -1,0 +1,42 @@
+// Exploration / annealing schedules.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace drlnoc::rl {
+
+/// Linear anneal from `start` to `end` over `steps` calls to value(t).
+class LinearSchedule {
+ public:
+  LinearSchedule(double start, double end, std::uint64_t steps)
+      : start_(start), end_(end), steps_(steps == 0 ? 1 : steps) {}
+
+  double value(std::uint64_t t) const {
+    const double frac =
+        std::min(1.0, static_cast<double>(t) / static_cast<double>(steps_));
+    return start_ + frac * (end_ - start_);
+  }
+
+ private:
+  double start_, end_;
+  std::uint64_t steps_;
+};
+
+/// Exponential decay: start * decay^t, floored at end.
+class ExponentialSchedule {
+ public:
+  ExponentialSchedule(double start, double end, double decay)
+      : start_(start), end_(end), decay_(decay) {}
+
+  double value(std::uint64_t t) const {
+    const double v = start_ * std::pow(decay_, static_cast<double>(t));
+    return std::max(v, end_);
+  }
+
+ private:
+  double start_, end_, decay_;
+};
+
+}  // namespace drlnoc::rl

@@ -1,0 +1,41 @@
+// Minimal key=value configuration store. Examples and bench binaries parse
+// command-line overrides ("key=value" tokens) into this, so every experiment
+// is reproducible from its printed parameter block.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace drlnoc::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses tokens of the form "key=value"; throws std::invalid_argument on
+  /// malformed tokens.
+  static Config from_args(int argc, const char* const* argv);
+  /// Parses newline-separated "key=value" text; '#' starts a comment.
+  static Config from_text(const std::string& text);
+
+  void set(const std::string& key, const std::string& value);
+
+  bool has(const std::string& key) const;
+  std::optional<std::string> raw(const std::string& key) const;
+
+  std::string get(const std::string& key, const std::string& fallback) const;
+  long long get(const std::string& key, long long fallback) const;
+  int get(const std::string& key, int fallback) const;
+  double get(const std::string& key, double fallback) const;
+  bool get(const std::string& key, bool fallback) const;
+
+  /// Keys in insertion-independent (sorted) order, for printing.
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace drlnoc::util

@@ -1,0 +1,46 @@
+// Tiny leveled logger. The simulator is hot-loop code, so logging is opt-in
+// and entirely skipped below the active level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace drlnoc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; default kWarn so tests/benches stay quiet.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define DRLNOC_LOG(level)                                   \
+  if (static_cast<int>(level) <                             \
+      static_cast<int>(::drlnoc::util::log_level())) {      \
+  } else                                                    \
+    ::drlnoc::util::detail::LogStream(level)
+
+#define LOG_DEBUG DRLNOC_LOG(::drlnoc::util::LogLevel::kDebug)
+#define LOG_INFO DRLNOC_LOG(::drlnoc::util::LogLevel::kInfo)
+#define LOG_WARN DRLNOC_LOG(::drlnoc::util::LogLevel::kWarn)
+#define LOG_ERROR DRLNOC_LOG(::drlnoc::util::LogLevel::kError)
+
+}  // namespace drlnoc::util

@@ -1,0 +1,118 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace drlnoc::util {
+
+void Accumulator::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Accumulator::reset() { *this = Accumulator{}; }
+
+double Accumulator::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double Accumulator::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const { return min_; }
+double Accumulator::max() const { return max_; }
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  assert(alpha > 0.0 && alpha <= 1.0);
+}
+
+void Ewma::add(double x) {
+  if (!initialized_) {
+    value_ = x;
+    initialized_ = true;
+  } else {
+    value_ += alpha_ * (x - value_);
+  }
+}
+
+void Ewma::reset() {
+  value_ = 0.0;
+  initialized_ = false;
+}
+
+double Ewma::value(double fallback) const {
+  return initialized_ ? value_ : fallback;
+}
+
+Histogram::Histogram(double limit, std::size_t buckets)
+    : limit_(limit), bucket_width_(limit / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  assert(limit > 0.0 && buckets > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  sum_ += x;
+  if (x < 0.0) x = 0.0;
+  if (x >= limit_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>(x / bucket_width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  ++counts_[idx];
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  overflow_ = 0;
+  total_ = 0;
+  sum_ = 0.0;
+}
+
+double Histogram::mean() const {
+  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+double Histogram::percentile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double running = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = running + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac =
+          (target - running) / static_cast<double>(counts_[i]);
+      return (static_cast<double>(i) + std::clamp(frac, 0.0, 1.0)) *
+             bucket_width_;
+    }
+    running = next;
+  }
+  return limit_;  // target falls in the overflow bucket
+}
+
+}  // namespace drlnoc::util

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "noc/traffic.h"
+#include "noc/topology.h"
+#include "util/stats.h"
+
+namespace drlnoc::noc {
+namespace {
+
+TEST(UniformTraffic, NeverSelfAndCoversAll) {
+  UniformTraffic u(16);
+  util::Rng rng(1);
+  std::map<NodeId, int> counts;
+  for (int i = 0; i < 32000; ++i) {
+    const NodeId d = u.dest(3, rng);
+    ASSERT_NE(d, 3);
+    ASSERT_GE(d, 0);
+    ASSERT_LT(d, 16);
+    ++counts[d];
+  }
+  EXPECT_EQ(counts.size(), 15u);
+  for (const auto& [node, c] : counts) EXPECT_NEAR(c, 32000 / 15, 300);
+}
+
+TEST(TransposeTraffic, MapsCoordinates) {
+  TransposeTraffic t(4, 4);
+  util::Rng rng(1);
+  // (1,2)=9 -> (2,1)=6.
+  EXPECT_EQ(t.dest(9, rng), 6);
+  // Diagonal maps to itself -> no packet.
+  EXPECT_EQ(t.dest(0, rng), kInvalidNode);
+  EXPECT_EQ(t.dest(5, rng), kInvalidNode);
+  EXPECT_THROW(TransposeTraffic(4, 3), std::invalid_argument);
+}
+
+TEST(BitCompTraffic, Complements) {
+  BitComplementTraffic b(16);
+  util::Rng rng(1);
+  EXPECT_EQ(b.dest(0, rng), 15);
+  EXPECT_EQ(b.dest(5, rng), 10);
+  EXPECT_THROW(BitComplementTraffic(12), std::invalid_argument);
+}
+
+TEST(BitRevTraffic, ReversesBits) {
+  BitReverseTraffic b(8);
+  util::Rng rng(1);
+  EXPECT_EQ(b.dest(1, rng), 4);   // 001 -> 100
+  EXPECT_EQ(b.dest(3, rng), 6);   // 011 -> 110
+  EXPECT_EQ(b.dest(2, rng), kInvalidNode);  // 010 -> 010 self
+}
+
+TEST(ShuffleTraffic, RotatesLeft) {
+  ShuffleTraffic s(8);
+  util::Rng rng(1);
+  EXPECT_EQ(s.dest(1, rng), 2);   // 001 -> 010
+  EXPECT_EQ(s.dest(4, rng), 1);   // 100 -> 001
+  EXPECT_EQ(s.dest(0, rng), kInvalidNode);
+  EXPECT_EQ(s.dest(7, rng), kInvalidNode);
+}
+
+TEST(TornadoTraffic, HalfwayAround) {
+  TornadoTraffic t(8, 8);
+  util::Rng rng(1);
+  // (0,0) -> (3,3) for 8x8: offset ceil(8/2)-1 = 3.
+  EXPECT_EQ(t.dest(0, rng), 3 * 8 + 3);
+}
+
+TEST(NeighborTraffic, NextInRow) {
+  NeighborTraffic n(4, 4);
+  util::Rng rng(1);
+  EXPECT_EQ(n.dest(0, rng), 1);
+  EXPECT_EQ(n.dest(3, rng), 0);   // wraps within the row
+  EXPECT_EQ(n.dest(5, rng), 6);
+}
+
+TEST(HotspotTraffic, ConcentratesOnHotspots) {
+  HotspotTraffic h(64, {10, 20}, 0.5);
+  util::Rng rng(2);
+  int hot = 0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    const NodeId d = h.dest(0, rng);
+    ASSERT_NE(d, 0);
+    if (d == 10 || d == 20) ++hot;
+  }
+  // 50% targeted + ~2/63 of the uniform half.
+  EXPECT_NEAR(static_cast<double>(hot) / trials, 0.5 + 0.5 * 2.0 / 63.0, 0.02);
+}
+
+TEST(HotspotTraffic, Validation) {
+  EXPECT_THROW(HotspotTraffic(16, {}, 0.5), std::invalid_argument);
+  EXPECT_THROW(HotspotTraffic(16, {99}, 0.5), std::invalid_argument);
+}
+
+TEST(PatternFactory, AllKinds) {
+  Mesh2D mesh(4, 4);
+  for (const char* kind : {"uniform", "transpose", "bitcomp", "bitrev",
+                           "shuffle", "tornado", "neighbor", "hotspot"}) {
+    EXPECT_NO_THROW(make_pattern(kind, mesh)) << kind;
+  }
+  EXPECT_THROW(make_pattern("nope", mesh), std::invalid_argument);
+}
+
+TEST(BernoulliInjection, MatchesRate) {
+  BernoulliInjection inj(1);
+  util::Rng rng(3);
+  int fires = 0;
+  for (int i = 0; i < 100000; ++i) fires += inj.fire(0, 0.1, rng);
+  EXPECT_NEAR(fires / 100000.0, 0.1, 0.005);
+}
+
+TEST(BurstInjection, LongRunMeanMatchesRate) {
+  BurstInjection inj(1, 0.02, 0.08);
+  util::Rng rng(5);
+  int fires = 0;
+  const int trials = 400000;
+  for (int i = 0; i < trials; ++i) fires += inj.fire(0, 0.05, rng);
+  EXPECT_NEAR(fires / static_cast<double>(trials), 0.05, 0.01);
+}
+
+TEST(BurstInjection, IsActuallyBursty) {
+  // Variance of per-window counts must exceed Bernoulli's.
+  const double rate = 0.05;
+  util::Rng rng(7);
+  BurstInjection burst(1, 0.02, 0.08);
+  BernoulliInjection bern(1);
+  auto window_variance = [&](InjectionProcess& p) {
+    util::Accumulator acc;
+    for (int w = 0; w < 400; ++w) {
+      int count = 0;
+      for (int i = 0; i < 200; ++i) count += p.fire(0, rate, rng);
+      acc.add(count);
+    }
+    return acc.variance();
+  };
+  EXPECT_GT(window_variance(burst), 2.0 * window_variance(bern));
+}
+
+TEST(InjectionFactory, Kinds) {
+  EXPECT_NO_THROW(make_injection("bernoulli", 4));
+  EXPECT_NO_THROW(make_injection("burst", 4));
+  EXPECT_THROW(make_injection("pareto", 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drlnoc::noc

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/config.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace drlnoc::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowCoversRangeUniformly) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.below(10)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits, 3000, 200);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  Accumulator acc;
+  for (int i = 0; i < 50000; ++i) acc.add(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(acc.mean(), 2.0, 0.1);
+  EXPECT_NEAR(acc.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, WeightedSamplingProportional) {
+  Rng rng(13);
+  std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.weighted(w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0], 10000, 600);
+  EXPECT_NEAR(counts[1], 30000, 900);
+  EXPECT_NEAR(counts[3], 60000, 1000);
+}
+
+TEST(Rng, WeightedRejectsDegenerate) {
+  Rng rng(1);
+  std::vector<double> zero = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted(zero), std::invalid_argument);
+  std::vector<double> negative = {1.0, -0.5};
+  EXPECT_THROW(rng.weighted(negative), std::invalid_argument);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng parent(21);
+  Rng c1 = parent.fork();
+  Rng c2 = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1() == c2()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_NEAR(acc.variance(), 1.25, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.sum(), 10.0);
+}
+
+TEST(Accumulator, EmptyIsSafe) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesCombined) {
+  Rng rng(17);
+  Accumulator a, b, all;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal();
+    if (i % 2) a.add(v);
+    else b.add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Ewma, FirstSampleInitializes) {
+  Ewma e(0.5);
+  EXPECT_TRUE(e.empty());
+  EXPECT_DOUBLE_EQ(e.value(7.0), 7.0);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+  e.add(0.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma e(0.2);
+  for (int i = 0; i < 200; ++i) e.add(3.0);
+  EXPECT_NEAR(e.value(), 3.0, 1e-9);
+}
+
+TEST(Histogram, PercentilesOfUniformData) {
+  Histogram h(100.0, 100);
+  for (int i = 0; i < 10000; ++i) h.add(i % 100 + 0.5);
+  EXPECT_NEAR(h.percentile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.percentile(0.95), 95.0, 2.0);
+  EXPECT_NEAR(h.mean(), 50.0, 1.0);
+}
+
+TEST(Histogram, OverflowBucket) {
+  Histogram h(10.0, 10);
+  h.add(5.0);
+  h.add(50.0);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+}
+
+TEST(Histogram, EmptyPercentileIsZero) {
+  Histogram h(10.0, 10);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Config, ParsesArgs) {
+  const char* argv[] = {"prog", "width=8", "rate=0.1", "verbose=true"};
+  Config cfg = Config::from_args(4, argv);
+  EXPECT_EQ(cfg.get("width", 0), 8);
+  EXPECT_DOUBLE_EQ(cfg.get("rate", 0.0), 0.1);
+  EXPECT_TRUE(cfg.get("verbose", false));
+  EXPECT_EQ(cfg.get("missing", 42), 42);
+}
+
+TEST(Config, RejectsMalformedArg) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(Config::from_args(2, argv), std::invalid_argument);
+}
+
+TEST(Config, ParsesTextWithComments) {
+  Config cfg = Config::from_text("a=1\n# comment\n b = hello # trailing\n");
+  EXPECT_EQ(cfg.get("a", 0), 1);
+  EXPECT_EQ(cfg.get("b", std::string{}), "hello");
+  EXPECT_EQ(cfg.keys().size(), 2u);
+}
+
+TEST(Config, BooleanParsing) {
+  Config cfg = Config::from_text("x=on\ny=No\nz=maybe");
+  EXPECT_TRUE(cfg.get("x", false));
+  EXPECT_FALSE(cfg.get("y", true));
+  EXPECT_THROW(cfg.get("z", false), std::invalid_argument);
+}
+
+TEST(Table, RowReturnsReferenceIntoTable) {
+  // Regression: `util::Table& row = t.row()` must append to the table
+  // itself; binding to `auto` (a copy) once silently produced empty tables.
+  Table t({"a", "b"});
+  Table& row = t.row();
+  row.cell("x");
+  row.cell("y");
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(), "a,b\nx,y\n");
+}
+
+TEST(Table, RendersAlignedAndCsv) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1.5, 2);
+  t.row().cell("b").cell(static_cast<long long>(7));
+  std::ostringstream text, csv;
+  t.print(text);
+  t.print_csv(csv);
+  EXPECT_NE(text.str().find("alpha"), std::string::npos);
+  EXPECT_NE(text.str().find("1.50"), std::string::npos);
+  EXPECT_EQ(csv.str(), "name,value\nalpha,1.50\nb,7\n");
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace drlnoc::util

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "noc/topology.h"
+#include "noc/workload.h"
+
+namespace drlnoc::noc {
+namespace {
+
+TEST(SteadyWorkload, ValidatesInputs) {
+  Mesh2D mesh(4, 4);
+  EXPECT_THROW(SteadyWorkload::make(mesh, "uniform", 1.5),
+               std::invalid_argument);
+  EXPECT_THROW(SteadyWorkload::make(mesh, "uniform", -0.1),
+               std::invalid_argument);
+  EXPECT_NO_THROW(SteadyWorkload::make(mesh, "uniform", 0.0));
+}
+
+TEST(SteadyWorkload, GeneratesAtConfiguredRate) {
+  Mesh2D mesh(4, 4);
+  SteadyWorkload w = SteadyWorkload::make(mesh, "uniform", 0.2);
+  util::Rng rng(1);
+  int fired = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    if (w.generate(0, 0.0, rng) != kInvalidNode) ++fired;
+  }
+  EXPECT_NEAR(fired / static_cast<double>(trials), 0.2, 0.01);
+  w.set_rate(0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(w.generate(0, 0.0, rng), kInvalidNode);
+}
+
+TEST(SteadyWorkload, NameReflectsPattern) {
+  Mesh2D mesh(4, 4);
+  SteadyWorkload w = SteadyWorkload::make(mesh, "tornado", 0.1);
+  EXPECT_NE(w.name().find("tornado"), std::string::npos);
+}
+
+TEST(PhasedWorkload, ValidatesPhases) {
+  Mesh2D mesh(4, 4);
+  EXPECT_THROW(PhasedWorkload(mesh, {}), std::invalid_argument);
+  EXPECT_THROW(PhasedWorkload(mesh, {{"uniform", 0.1, 0.0, "bernoulli"}}),
+               std::invalid_argument);
+  EXPECT_THROW(PhasedWorkload(mesh, {{"warp", 0.1, 10.0, "bernoulli"}}),
+               std::invalid_argument);
+}
+
+TEST(PhasedWorkload, OffsetShiftsPhaseLookup) {
+  Mesh2D mesh(4, 4);
+  PhasedWorkload w(mesh, {{"uniform", 0.05, 100.0, "bernoulli"},
+                          {"hotspot", 0.1, 100.0, "bernoulli"}});
+  EXPECT_EQ(w.phase_index(0.0), 0u);
+  w.set_start_offset(100.0);
+  EXPECT_EQ(w.phase_index(0.0), 1u);
+  EXPECT_EQ(w.phase_index(100.0), 0u);  // wraps
+  w.set_start_offset(150.0);
+  EXPECT_EQ(w.phase_index(0.0), 1u);
+  EXPECT_EQ(w.phase_index(49.9), 1u);
+  EXPECT_EQ(w.phase_index(50.0), 0u);
+}
+
+TEST(PhasedWorkload, RateFollowsActivePhase) {
+  Mesh2D mesh(4, 4);
+  PhasedWorkload w(mesh, {{"uniform", 0.0, 1000.0, "bernoulli"},
+                          {"uniform", 0.5, 1000.0, "bernoulli"}});
+  util::Rng rng(3);
+  int fired_phase0 = 0, fired_phase1 = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (w.generate(0, 500.0, rng) != kInvalidNode) ++fired_phase0;
+    if (w.generate(0, 1500.0, rng) != kInvalidNode) ++fired_phase1;
+  }
+  EXPECT_EQ(fired_phase0, 0);
+  EXPECT_NEAR(fired_phase1 / 2000.0, 0.5, 0.05);
+}
+
+TEST(PhasedWorkload, StandardPhasesSaneOnMeshAndRing) {
+  Mesh2D mesh(4, 4);
+  const auto mesh_phases = PhasedWorkload::standard_phases(mesh);
+  ASSERT_EQ(mesh_phases.size(), 4u);
+  EXPECT_EQ(mesh_phases[3].pattern, "transpose");  // square mesh
+  for (const Phase& ph : mesh_phases) {
+    EXPECT_GT(ph.duration_core_cycles, 0.0);
+    EXPECT_GE(ph.rate, 0.0);
+    EXPECT_LE(ph.rate, 0.2);
+  }
+  Ring ring(8);
+  const auto ring_phases = PhasedWorkload::standard_phases(ring);
+  EXPECT_EQ(ring_phases[3].pattern, "uniform");  // no transpose on a ring
+  EXPECT_NO_THROW(PhasedWorkload(ring, ring_phases));
+}
+
+TEST(PhasedWorkload, ScaleMultipliesRates) {
+  Mesh2D mesh(4, 4);
+  const auto base = PhasedWorkload::standard_phases(mesh, 1.0);
+  const auto scaled = PhasedWorkload::standard_phases(mesh, 0.5);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_NEAR(scaled[i].rate, 0.5 * base[i].rate, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace drlnoc::noc
