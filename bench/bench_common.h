@@ -5,15 +5,40 @@
 
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/env_noc.h"
+#include "core/parallel.h"
 #include "core/trainer.h"
 #include "rl/dqn.h"
+#include "util/config.h"
 #include "util/table.h"
 
 namespace drlnoc::bench {
+
+/// Resolves the shared `--jobs N` flag (also accepted as `jobs=N`). The
+/// default 0 means one worker per hardware thread. Every experiment is
+/// bit-identical at any jobs value — the flag only buys wall-clock.
+inline core::ExperimentRunner runner_from(const util::Config& cfg) {
+  return core::ExperimentRunner(cfg.get("jobs", 0));
+}
+
+/// Clones a trained agent's policy network. Worker threads must not share
+/// one DqnAgent (forward passes cache activations), so each parallel
+/// evaluation task gets its own frozen copy; greedy actions are identical to
+/// the original's because the weights are.
+inline std::unique_ptr<rl::DqnAgent> clone_policy(const rl::DqnAgent& agent,
+                                                  std::size_t state_size,
+                                                  int num_actions) {
+  std::stringstream weights;
+  agent.save(weights);
+  auto copy = std::make_unique<rl::DqnAgent>(state_size, num_actions,
+                                             agent.params());
+  copy->load_weights(weights);
+  return copy;
+}
 
 /// DQN hyper-parameters used by every experiment (kept in one place so the
 /// tables are comparable).
@@ -36,8 +61,9 @@ inline rl::DqnParams standard_dqn(std::uint64_t total_env_steps,
 inline std::unique_ptr<rl::DqnAgent> train_agent(core::NocConfigEnv& env,
                                                  int episodes,
                                                  std::uint64_t seed = 7) {
-  const auto steps = static_cast<std::uint64_t>(episodes) *
-                     static_cast<std::uint64_t>(env.params().epochs_per_episode);
+  const auto steps =
+      static_cast<std::uint64_t>(episodes) *
+      static_cast<std::uint64_t>(env.params().epochs_per_episode);
   auto agent = std::make_unique<rl::DqnAgent>(
       env.state_size(), env.num_actions(), standard_dqn(steps, seed));
   core::TrainParams tp;

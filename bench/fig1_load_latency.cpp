@@ -3,6 +3,10 @@
 // right as VCs increase. Part B (controllers): a DRL agent trained on a
 // load-ladder workload matches static-max latency below saturation while
 // spending less power, and avoids static-min's early collapse.
+//
+// Every measured point is an independent simulation, so the whole figure
+// fans out over the experiment engine; pass --jobs N to bound the worker
+// count (results are identical at any N).
 #include <iostream>
 
 #include "bench_common.h"
@@ -15,26 +19,40 @@ int main(int argc, char** argv) {
   const util::Config cfg = util::Config::from_args(argc, argv);
   const int size = cfg.get("size", 8);
   const int episodes = cfg.get("episodes", 60);
+  const core::ExperimentRunner runner = bench::runner_from(cfg);
 
   std::cout << "F1: load-latency, " << size << "x" << size
-            << " mesh, uniform traffic\n\n";
+            << " mesh, uniform traffic (jobs=" << runner.jobs() << ")\n\n";
 
   // ---- Part A: VC sensitivity (pure substrate) ----------------------------
   std::cout << "Part A: average latency vs offered load per VC count\n";
+  const std::vector<int> vc_options = {1, 2, 4};
+  std::vector<double> rates;
+  for (double rate = 0.02; rate <= 0.145; rate += 0.02) rates.push_back(rate);
+
+  std::vector<noc::SweepPoint> points;
+  for (double rate : rates) {
+    for (int vcs : vc_options) {
+      noc::SweepPoint pt;
+      pt.net.width = pt.net.height = size;
+      pt.net.seed = 11;
+      pt.net.initial_config = {vcs, 8, 3};
+      pt.pattern = "uniform";
+      pt.rate = rate;
+      pt.run.warmup_cycles = 1500;
+      pt.run.measure_cycles = 4000;
+      pt.run.drain_limit = 40000;
+      points.push_back(pt);
+    }
+  }
+  const auto part_a = noc::measure_points(points, runner.jobs());
+
   util::Table a({"offered", "lat_vc1", "lat_vc2", "lat_vc4"});
-  for (double rate = 0.02; rate <= 0.145; rate += 0.02) {
+  for (std::size_t r = 0; r < rates.size(); ++r) {
     util::Table& row = a.row();
-    row.cell(rate, 3);
-    for (int vcs : {1, 2, 4}) {
-      noc::NetworkParams p;
-      p.width = p.height = size;
-      p.seed = 11;
-      p.initial_config = {vcs, 8, 3};
-      noc::SteadyRunParams run;
-      run.warmup_cycles = 1500;
-      run.measure_cycles = 4000;
-      run.drain_limit = 40000;
-      const auto res = noc::measure_point(p, "uniform", rate, run);
+    row.cell(rates[r], 3);
+    for (std::size_t v = 0; v < vc_options.size(); ++v) {
+      const auto& res = part_a[r * vc_options.size() + v];
       row.cell(res.saturated ? 9999.0 : res.stats.avg_latency, 1);
     }
   }
@@ -45,18 +63,25 @@ int main(int argc, char** argv) {
   // accepted rate under deep overload grows with the VC count.
   std::cout << "saturation throughput (accepted pkt/node/cycle @ offered "
                "0.30):\n";
+  std::vector<noc::SweepPoint> sat_points;
+  for (int vcs : vc_options) {
+    noc::SweepPoint pt;
+    pt.net.width = pt.net.height = size;
+    pt.net.seed = 13;
+    pt.net.initial_config = {vcs, 8, 3};
+    pt.pattern = "uniform";
+    pt.rate = 0.30;
+    pt.run.warmup_cycles = 2000;
+    pt.run.measure_cycles = 4000;
+    pt.run.drain_limit = 1;  // no need to drain a deeply saturated network
+    sat_points.push_back(pt);
+  }
+  const auto sat_res = noc::measure_points(sat_points, runner.jobs());
   util::Table sat({"vcs", "sat_throughput"});
-  for (int vcs : {1, 2, 4}) {
-    noc::NetworkParams p;
-    p.width = p.height = size;
-    p.seed = 13;
-    p.initial_config = {vcs, 8, 3};
-    noc::SteadyRunParams run;
-    run.warmup_cycles = 2000;
-    run.measure_cycles = 4000;
-    run.drain_limit = 1;  // no need to drain a deeply saturated network
-    const auto res = noc::measure_point(p, "uniform", 0.30, run);
-    sat.row().cell(static_cast<long long>(vcs)).cell(res.stats.accepted_rate, 4);
+  for (std::size_t v = 0; v < vc_options.size(); ++v) {
+    sat.row()
+        .cell(static_cast<long long>(vc_options[v]))
+        .cell(sat_res[v].stats.accepted_rate, 4);
   }
   sat.print(std::cout);
   std::cout << '\n';
@@ -76,29 +101,47 @@ int main(int argc, char** argv) {
   core::NocConfigEnv train_env(train_ep);
   auto agent = bench::train_agent(train_env, episodes);
   const double power_ref = train_env.power_ref_mw();
+  const std::size_t state_size = train_env.state_size();
+  const int num_actions = train_env.num_actions();
+
+  // One task per offered rate: each evaluates the three controllers against
+  // its own private environments, with a frozen clone of the trained policy.
+  struct RateRow {
+    core::EpisodeResult drl, smax, smin;
+  };
+  const std::vector<double> eval_rates = {0.02, 0.05, 0.08, 0.11};
+  const auto part_b = runner.map<RateRow>(
+      static_cast<int>(eval_rates.size()), [&](int i) {
+        core::NocEnvParams ep = train_ep;
+        ep.phases = {{"uniform", eval_rates[static_cast<std::size_t>(i)], 1e6,
+                      "bernoulli"}};
+        ep.epochs_per_episode = 20;
+        ep.reward.power_ref_mw = power_ref;
+        core::NocConfigEnv env(ep);
+        const auto policy =
+            bench::clone_policy(*agent, state_size, num_actions);
+        core::DrlController drl(env.actions(), *policy);
+        auto smax = core::StaticController::maximal(env.actions());
+        auto smin = core::StaticController::minimal(env.actions());
+        RateRow row;
+        row.drl = core::evaluate(env, drl);
+        row.smax = core::evaluate(env, *smax);
+        row.smin = core::evaluate(env, *smin);
+        return row;
+      });
 
   util::Table b({"offered", "drl_lat", "drl_mW", "max_lat", "max_mW",
                  "min_lat", "min_mW"});
-  for (double rate : {0.02, 0.05, 0.08, 0.11}) {
-    core::NocEnvParams ep = train_ep;
-    ep.phases = {{"uniform", rate, 1e6, "bernoulli"}};
-    ep.epochs_per_episode = 20;
-    ep.reward.power_ref_mw = power_ref;
-    core::NocConfigEnv env(ep);
-    core::DrlController drl(env.actions(), *agent);
-    auto smax = core::StaticController::maximal(env.actions());
-    auto smin = core::StaticController::minimal(env.actions());
-    const auto rd = core::evaluate(env, drl);
-    const auto rx = core::evaluate(env, *smax);
-    const auto rn = core::evaluate(env, *smin);
+  for (std::size_t i = 0; i < eval_rates.size(); ++i) {
+    const RateRow& r = part_b[i];
     b.row()
-        .cell(rate, 2)
-        .cell(rd.mean_latency, 1)
-        .cell(rd.mean_power_mw, 1)
-        .cell(rx.mean_latency, 1)
-        .cell(rx.mean_power_mw, 1)
-        .cell(rn.mean_latency, 1)
-        .cell(rn.mean_power_mw, 1);
+        .cell(eval_rates[i], 2)
+        .cell(r.drl.mean_latency, 1)
+        .cell(r.drl.mean_power_mw, 1)
+        .cell(r.smax.mean_latency, 1)
+        .cell(r.smax.mean_power_mw, 1)
+        .cell(r.smin.mean_latency, 1)
+        .cell(r.smin.mean_power_mw, 1);
   }
   b.print(std::cout);
   std::cout << "\nshape check: knee moves right with VCs; DRL tracks "

@@ -2,6 +2,12 @@
 // topologies. Larger networks use fewer training episodes (wall-clock
 // budget), which the table notes — the *shape* (DRL saves power at ~static-
 // max latency) must hold at every size.
+//
+// Each row (train + evaluate) is an independent task, so the whole table
+// fans out over the experiment engine. A second section measures the engine
+// itself: the static-config sweep at 1 worker vs N workers, with identical
+// output and the wall-clock speedup printed.
+#include <chrono>
 #include <iostream>
 
 #include "bench_common.h"
@@ -9,11 +15,21 @@
 
 using namespace drlnoc;
 
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const util::Config cfg = util::Config::from_args(argc, argv);
+  const core::ExperimentRunner runner = bench::runner_from(cfg);
 
   std::cout << "T4: scalability across sizes and topologies (standard "
-               "phased workload)\n\n";
+               "phased workload, jobs=" << runner.jobs() << ")\n\n";
   util::Table t({"network", "episodes", "drl_lat", "max_lat", "drl_mW",
                  "max_mW", "power_save%", "drl_reward", "max_reward"});
 
@@ -32,24 +48,38 @@ int main(int argc, char** argv) {
       {"ring", 8, 1, cfg.get("episodes_r", 80), true},
   };
 
-  for (const Case& c : cases) {
-    core::NocEnvParams ep;
-    ep.net.topology = c.topology;
-    ep.net.width = c.width;
-    ep.net.height = c.height;
-    ep.net.seed = 42;
-    ep.epoch_cycles = 512;
-    ep.epochs_per_episode = 32;
-    if (c.two_class) ep.actions = core::ActionSpace::standard_two_class();
-    core::NocConfigEnv env(ep);
+  struct CaseResult {
+    core::EpisodeResult drl, smax;
+  };
+  // One task per row: each trains its own agent in its own environment, so
+  // rows share nothing and run concurrently.
+  const auto results =
+      runner.map<CaseResult>(static_cast<int>(cases.size()), [&](int i) {
+        const Case& c = cases[static_cast<std::size_t>(i)];
+        core::NocEnvParams ep;
+        ep.net.topology = c.topology;
+        ep.net.width = c.width;
+        ep.net.height = c.height;
+        ep.net.seed = 42;
+        ep.epoch_cycles = 512;
+        ep.epochs_per_episode = 32;
+        if (c.two_class) ep.actions = core::ActionSpace::standard_two_class();
+        core::NocConfigEnv env(ep);
 
-    auto agent = bench::train_agent(env, c.episodes);
-    core::DrlController drl(env.actions(), *agent);
-    auto smax = core::StaticController::maximal(env.actions());
-    const auto rd = core::evaluate(env, drl);
-    const auto rx = core::evaluate(env, *smax);
-    const double save = 100.0 * (1.0 - rd.mean_power_mw / rx.mean_power_mw);
+        auto agent = bench::train_agent(env, c.episodes);
+        core::DrlController drl(env.actions(), *agent);
+        auto smax = core::StaticController::maximal(env.actions());
+        CaseResult r;
+        r.drl = core::evaluate(env, drl);
+        r.smax = core::evaluate(env, *smax);
+        return r;
+      });
 
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Case& c = cases[i];
+    const CaseResult& r = results[i];
+    const double save =
+        100.0 * (1.0 - r.drl.mean_power_mw / r.smax.mean_power_mw);
     const std::string name =
         c.topology +
         (c.topology == "ring" ? std::to_string(c.width * c.height)
@@ -58,17 +88,54 @@ int main(int argc, char** argv) {
     t.row()
         .cell(name)
         .cell(static_cast<long long>(c.episodes))
-        .cell(rd.mean_latency, 1)
-        .cell(rx.mean_latency, 1)
-        .cell(rd.mean_power_mw, 1)
-        .cell(rx.mean_power_mw, 1)
+        .cell(r.drl.mean_latency, 1)
+        .cell(r.smax.mean_latency, 1)
+        .cell(r.drl.mean_power_mw, 1)
+        .cell(r.smax.mean_power_mw, 1)
         .cell(save, 1)
-        .cell(rd.total_reward, 1)
-        .cell(rx.total_reward, 1);
+        .cell(r.drl.total_reward, 1)
+        .cell(r.smax.total_reward, 1);
   }
   t.print(std::cout);
   std::cout << "\nshape check: power savings positive at every size and "
                "topology; latency stays in the static-max band (the 16x16 "
-               "row trains on a reduced budget).\n";
+               "row trains on a reduced budget).\n\n";
+
+  // ---- Engine scaling: the same sweep, serial vs parallel -----------------
+  // sweep_static evaluates all static configs (36 on the standard space);
+  // every config is an independent episode, so wall-clock should fall
+  // roughly linearly with workers while the sorted results stay
+  // bit-identical.
+  core::NocEnvParams ep;
+  ep.net.width = ep.net.height = cfg.get("sweep_size", 8);
+  ep.net.seed = 42;
+  ep.epoch_cycles = 512;
+  ep.epochs_per_episode = cfg.get("sweep_epochs", 16);
+
+  std::cout << "engine scaling: sweep_static over "
+            << ep.actions.size() << " configs, mesh " << ep.net.width << "x"
+            << ep.net.height << "\n";
+  util::Table s({"jobs", "seconds", "speedup", "oracle_config",
+                 "oracle_EDP(1e6)"});
+  double serial_seconds = 0.0;
+  std::vector<int> job_counts = {1};
+  if (runner.jobs() > 1) job_counts.push_back(runner.jobs());
+  for (int jobs : job_counts) {
+    const core::ExperimentRunner r(jobs);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto sweep = core::sweep_static_parallel(ep, r);
+    const double secs = seconds_since(t0);
+    if (jobs == 1) serial_seconds = secs;
+    s.row()
+        .cell(static_cast<long long>(jobs))
+        .cell(secs, 2)
+        .cell(serial_seconds > 0.0 ? serial_seconds / secs : 1.0, 2)
+        .cell(sweep.front().controller)
+        .cell(sweep.front().mean_edp / 1e6, 3);
+  }
+  s.print(std::cout);
+  std::cout << "\nshape check: identical oracle config and EDP at every jobs "
+               "value; speedup approaches the worker count on idle "
+               "machines.\n";
   return 0;
 }

@@ -2,12 +2,15 @@
 // patterns on a chosen topology and print latency/throughput/power, without
 // any RL involvement. Useful to understand the network the controller rides.
 //
-//   ./build/examples/traffic_explorer topology=torus size=8 rate=0.08
+//   ./build/examples/traffic_explorer topology=torus size=8 rate=0.08 --jobs 4
 #include <iostream>
+#include <optional>
+#include <vector>
 
 #include "noc/simulator.h"
 #include "util/config.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace drlnoc;
 
@@ -16,6 +19,7 @@ int main(int argc, char** argv) {
   const std::string topology = cfg.get("topology", std::string("mesh"));
   const int size = cfg.get("size", 8);
   const double rate = cfg.get("rate", 0.05);
+  const int jobs = util::ThreadPool::resolve_jobs(cfg.get("jobs", 0));
 
   noc::NetworkParams p;
   p.topology = topology;
@@ -25,25 +29,46 @@ int main(int argc, char** argv) {
 
   std::cout << "traffic explorer: " << topology << " " << size << "x" << size
             << ", rate " << rate << " pkt/node/cycle, routing " << p.routing
-            << "\n\n";
+            << ", jobs " << jobs << "\n\n";
+
+  // All patterns are measured concurrently; a pattern the topology rejects
+  // (e.g. transpose on a ring) reports its error in the table instead of
+  // aborting the sweep.
+  const std::vector<const char*> patterns = {
+      "uniform", "transpose", "bitcomp", "bitrev",
+      "shuffle", "tornado",   "neighbor", "hotspot"};
+  struct PatternRow {
+    std::optional<noc::SteadyResult> result;
+    std::string error;
+  };
+  const auto rows = util::parallel_map<PatternRow>(
+      static_cast<int>(patterns.size()), jobs, [&](int i) {
+        PatternRow row;
+        try {
+          row.result = noc::measure_point(
+              p, patterns[static_cast<std::size_t>(i)], rate);
+        } catch (const std::exception& e) {
+          row.error = e.what();
+        }
+        return row;
+      });
 
   util::Table t({"pattern", "avg_lat", "p95_lat", "avg_hops", "accepted",
                  "power_mW", "saturated"});
-  for (const char* pattern : {"uniform", "transpose", "bitcomp", "bitrev",
-                              "shuffle", "tornado", "neighbor", "hotspot"}) {
-    try {
-      const auto r = noc::measure_point(p, pattern, rate);
-      t.row()
-          .cell(pattern)
-          .cell(r.stats.avg_latency, 1)
-          .cell(r.stats.p95_latency, 1)
-          .cell(r.stats.avg_hops, 2)
-          .cell(r.stats.accepted_rate, 4)
-          .cell(r.stats.avg_power_mw(2.0), 1)
-          .cell(r.saturated ? "yes" : "no");
-    } catch (const std::exception& e) {
-      t.row().cell(pattern).cell(std::string("n/a: ") + e.what());
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    if (!rows[i].result) {
+      t.row().cell(patterns[i]).cell("n/a: " + rows[i].error);
+      continue;
     }
+    const auto& r = *rows[i].result;
+    t.row()
+        .cell(patterns[i])
+        .cell(r.stats.avg_latency, 1)
+        .cell(r.stats.p95_latency, 1)
+        .cell(r.stats.avg_hops, 2)
+        .cell(r.stats.accepted_rate, 4)
+        .cell(r.stats.avg_power_mw(2.0), 1)
+        .cell(r.saturated ? "yes" : "no");
   }
   t.print(std::cout);
   std::cout << "\nlocal patterns (neighbor) ride cheap; adversarial ones "

@@ -91,4 +91,18 @@ class DrlController : public Controller {
   std::string label_;
 };
 
+/// DrlController that owns its agent — for parallel evaluation tasks, where
+/// each worker carries a private frozen clone of the trained policy.
+class OwningDrlController : public DrlController {
+ public:
+  OwningDrlController(const ActionSpace& space,
+                      std::unique_ptr<rl::DqnAgent> agent,
+                      std::string label = "drl")
+      : DrlController(space, *agent, std::move(label)),
+        agent_(std::move(agent)) {}
+
+ private:
+  std::unique_ptr<rl::DqnAgent> agent_;
+};
+
 }  // namespace drlnoc::core

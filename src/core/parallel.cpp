@@ -1,0 +1,96 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace drlnoc::core {
+
+namespace {
+
+// Calibrating the power reference costs two max-config epochs; do it once
+// up front instead of once per task (every task's fresh environment would
+// deterministically recompute the same value from the same parameters).
+NocEnvParams with_calibrated_power_ref(const NocEnvParams& params) {
+  NocEnvParams p = params;
+  if (p.reward.power_ref_mw <= 0.0) {
+    p.reward.power_ref_mw = NocConfigEnv(p).power_ref_mw();
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<EpisodeResult> sweep_static_parallel(
+    const NocEnvParams& base, const ExperimentRunner& runner) {
+  const NocEnvParams params = with_calibrated_power_ref(base);
+  const int n = params.actions.size();
+  std::vector<EpisodeResult> results =
+      runner.map<EpisodeResult>(n, [&params](int a) {
+        NocConfigEnv env(params);
+        StaticController controller(
+            env.actions(), a, "static[" + env.actions().describe(a) + "]");
+        return evaluate(env, controller);
+      });
+  std::sort(results.begin(), results.end(),
+            [](const EpisodeResult& x, const EpisodeResult& y) {
+              return x.mean_edp < y.mean_edp;
+            });
+  return results;
+}
+
+namespace {
+
+MetricSummary summarize(const std::vector<Replica>& replicas,
+                        double (*metric)(const EpisodeResult&)) {
+  MetricSummary s;
+  const std::size_t n = replicas.size();
+  if (n == 0) return s;
+  double sum = 0.0;
+  for (const Replica& r : replicas) sum += metric(r.result);
+  s.mean = sum / static_cast<double>(n);
+  if (n < 2) return s;
+  double sq = 0.0;
+  for (const Replica& r : replicas) {
+    const double d = metric(r.result) - s.mean;
+    sq += d * d;
+  }
+  s.stddev = std::sqrt(sq / static_cast<double>(n - 1));
+  s.ci95 = 1.96 * s.stddev / std::sqrt(static_cast<double>(n));
+  return s;
+}
+
+}  // namespace
+
+ReplicationResult evaluate_many(const NocEnvParams& base,
+                                const ControllerFactory& controller_factory,
+                                int replicas, const ExperimentRunner& runner) {
+  // All replicas share the base seed's power calibration so their rewards
+  // are computed against one common reference (and each task skips the
+  // calibration epochs).
+  const NocEnvParams calibrated = with_calibrated_power_ref(base);
+  ReplicationResult out;
+  out.replicas = runner.map<Replica>(replicas, [&](int i) {
+    Replica rep;
+    // The deterministic per-task RNG stream: evaluation mode uses net.seed
+    // verbatim, so offsetting it by the task index gives each replica an
+    // independent, reproducible traffic sequence.
+    NocEnvParams p = calibrated;
+    p.net.seed = base.net.seed + static_cast<std::uint64_t>(i);
+    rep.seed = p.net.seed;
+    NocConfigEnv env(p);
+    std::unique_ptr<Controller> controller = controller_factory(env);
+    rep.result = evaluate(env, *controller);
+    return rep;
+  });
+  out.reward = summarize(
+      out.replicas, [](const EpisodeResult& r) { return r.total_reward; });
+  out.latency = summarize(
+      out.replicas, [](const EpisodeResult& r) { return r.mean_latency; });
+  out.power_mw = summarize(
+      out.replicas, [](const EpisodeResult& r) { return r.mean_power_mw; });
+  out.edp = summarize(out.replicas,
+                      [](const EpisodeResult& r) { return r.mean_edp; });
+  return out;
+}
+
+}  // namespace drlnoc::core

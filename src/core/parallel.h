@@ -1,0 +1,92 @@
+// Parallel experiment engine: fans independent simulations across hardware
+// threads. Every point of the paper's artifacts (static-config sweeps,
+// load-latency curves, multi-seed replications) is an independent `Network`
+// simulation, so each task builds its own environment and draws from a
+// deterministic per-task RNG stream (seed derived from base_seed +
+// task_index). The determinism contract: parallel results are bit-identical
+// to serial and invariant under thread count, because tasks share no mutable
+// state and results are written to index-addressed slots.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/env_noc.h"
+#include "core/trainer.h"
+#include "util/thread_pool.h"
+
+namespace drlnoc::core {
+
+/// Thin façade over util::parallel_for that carries a jobs count chosen once
+/// (e.g. from a --jobs flag) through an experiment.
+class ExperimentRunner {
+ public:
+  /// jobs > 0 is taken literally; jobs <= 0 means one per hardware thread.
+  explicit ExperimentRunner(int jobs = 0)
+      : jobs_(util::ThreadPool::resolve_jobs(jobs)) {}
+
+  int jobs() const { return jobs_; }
+
+  /// Runs fn(0) .. fn(n-1), blocking until all complete; first task
+  /// exception propagates.
+  void for_each(int n, const std::function<void(int)>& fn) const {
+    util::parallel_for(n, jobs_, fn);
+  }
+
+  /// Order-preserving parallel map: out[i] = fn(i).
+  template <typename R>
+  std::vector<R> map(int n, const std::function<R(int)>& fn) const {
+    return util::parallel_map<R>(n, jobs_, fn);
+  }
+
+ private:
+  int jobs_;
+};
+
+/// Evaluates every static configuration of `params.actions` — one fresh
+/// environment per action, evaluated concurrently — and returns results
+/// sorted by mean EDP (element 0 is the oracle static). Bit-identical to the
+/// serial sweep because evaluation mode pins the traffic seed and phase
+/// offset, making each action's episode independent of every other.
+std::vector<EpisodeResult> sweep_static_parallel(
+    const NocEnvParams& params, const ExperimentRunner& runner);
+
+/// Builds the controller for one evaluation task. Called once per task on the
+/// worker thread with that task's freshly built environment, so the factory
+/// must be safe to invoke concurrently (it should only read shared state —
+/// e.g. clone trained weights — never mutate it).
+using ControllerFactory =
+    std::function<std::unique_ptr<Controller>(const NocConfigEnv& env)>;
+
+/// One replica of a multi-seed replication.
+struct Replica {
+  std::uint64_t seed = 0;
+  EpisodeResult result;
+};
+
+/// Mean and half-width of the normal-approximation 95% confidence interval
+/// for one metric across replicas.
+struct MetricSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;  ///< 1.96 * stddev / sqrt(n); 0 when n < 2
+};
+
+struct ReplicationResult {
+  std::vector<Replica> replicas;  ///< ordered by task index
+  MetricSummary reward;
+  MetricSummary latency;
+  MetricSummary power_mw;
+  MetricSummary edp;
+};
+
+/// Evaluates `controller_factory`'s policy over `replicas` episodes whose
+/// traffic seeds are `base.net.seed + task_index` (the deterministic
+/// per-task RNG stream), in parallel, and aggregates confidence intervals.
+ReplicationResult evaluate_many(const NocEnvParams& base,
+                                const ControllerFactory& controller_factory,
+                                int replicas, const ExperimentRunner& runner);
+
+}  // namespace drlnoc::core

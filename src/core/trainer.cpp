@@ -1,7 +1,8 @@
 #include "core/trainer.h"
 
-#include <algorithm>
 #include <iostream>
+
+#include "core/parallel.h"
 
 namespace drlnoc::core {
 
@@ -106,18 +107,12 @@ TrainResult train_dqn(NocConfigEnv& env, rl::DqnAgent& agent,
   return result;
 }
 
-std::vector<EpisodeResult> sweep_static(NocConfigEnv& env) {
-  std::vector<EpisodeResult> results;
-  for (int a = 0; a < env.actions().size(); ++a) {
-    StaticController controller(env.actions(), a,
-                                "static[" + env.actions().describe(a) + "]");
-    results.push_back(evaluate(env, controller));
-  }
-  std::sort(results.begin(), results.end(),
-            [](const EpisodeResult& x, const EpisodeResult& y) {
-              return x.mean_edp < y.mean_edp;
-            });
-  return results;
+std::vector<EpisodeResult> sweep_static(NocConfigEnv& env, int jobs) {
+  // Evaluation mode pins the traffic seed and phase offset, so a fresh
+  // environment per action reproduces exactly what a shared environment
+  // would see — which is what lets the sweep fan out across threads.
+  const ExperimentRunner runner(jobs);
+  return sweep_static_parallel(env.params(), runner);
 }
 
 }  // namespace drlnoc::core

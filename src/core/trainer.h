@@ -54,6 +54,9 @@ TrainResult train_dqn(NocConfigEnv& env, rl::DqnAgent& agent,
 
 /// Evaluates every static configuration for one episode and returns results
 /// sorted by mean EDP (oracle-static baseline; element 0 is the oracle).
-std::vector<EpisodeResult> sweep_static(NocConfigEnv& env);
+/// Configurations are evaluated concurrently across `jobs` threads (<= 0
+/// means one per hardware thread); results are bit-identical to a serial
+/// sweep at any thread count.
+std::vector<EpisodeResult> sweep_static(NocConfigEnv& env, int jobs = 1);
 
 }  // namespace drlnoc::core

@@ -1,5 +1,7 @@
 #include "noc/simulator.h"
 
+#include "util/thread_pool.h"
+
 namespace drlnoc::noc {
 
 SteadyResult run_steady_state(Network& net, TrafficInjector& workload,
@@ -70,6 +72,15 @@ SteadyResult measure_point(const NetworkParams& net_params,
   SteadyResult result = run_steady_state(net, workload, run_params);
   result.offered_rate = rate;
   return result;
+}
+
+std::vector<SteadyResult> measure_points(const std::vector<SweepPoint>& points,
+                                         int jobs) {
+  return util::parallel_map<SteadyResult>(
+      static_cast<int>(points.size()), jobs, [&points](int i) {
+        const SweepPoint& p = points[static_cast<std::size_t>(i)];
+        return measure_point(p.net, p.pattern, p.rate, p.run);
+      });
 }
 
 }  // namespace drlnoc::noc

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "noc/network.h"
 #include "noc/workload.h"
@@ -34,5 +35,23 @@ SteadyResult run_steady_state(Network& net, TrafficInjector& workload,
 SteadyResult measure_point(const NetworkParams& net_params,
                            const std::string& pattern, double rate,
                            const SteadyRunParams& run_params = {});
+
+/// One point of a load sweep: the network/pattern/rate triple measured by
+/// measure_points. Curves mix topologies (e.g. mesh vs torus per rate), so
+/// each point carries its own network parameters.
+struct SweepPoint {
+  NetworkParams net{};
+  std::string pattern = "uniform";
+  double rate = 0.0;
+  SteadyRunParams run{};
+};
+
+/// Measures every point concurrently across `jobs` threads (the default 1
+/// is serial, matching measure_point in a loop; <= 0 means one per hardware
+/// thread). Each point builds a private Network seeded only by its own
+/// parameters, so results are bit-identical to calling measure_point
+/// serially, independent of thread count. Output order matches input order.
+std::vector<SteadyResult> measure_points(const std::vector<SweepPoint>& points,
+                                         int jobs = 1);
 
 }  // namespace drlnoc::noc

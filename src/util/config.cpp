@@ -20,12 +20,26 @@ std::string trim(const std::string& s) {
 Config Config::from_args(int argc, const char* const* argv) {
   Config cfg;
   for (int i = 1; i < argc; ++i) {
-    const std::string token = argv[i];
+    std::string token = argv[i];
+    // Flag spelling: "--key=value" or "--key value" normalize to "key=value".
+    const bool dashed = token.rfind("--", 0) == 0;
+    if (dashed) token.erase(0, 2);
     const auto eq = token.find('=');
-    if (eq == std::string::npos || eq == 0) {
-      throw std::invalid_argument("expected key=value, got: " + token);
+    if (eq != std::string::npos && eq != 0) {
+      cfg.set(token.substr(0, eq), token.substr(eq + 1));
+      continue;
     }
-    cfg.set(token.substr(0, eq), token.substr(eq + 1));
+    if (dashed && !token.empty() && eq == std::string::npos && i + 1 < argc) {
+      // Only consume the next token as this flag's value when it looks like
+      // a value: another flag or a key=value pair means the value is missing.
+      const std::string next = argv[i + 1];
+      if (next.rfind("--", 0) != 0 && next.find('=') == std::string::npos) {
+        cfg.set(token, argv[++i]);
+        continue;
+      }
+    }
+    throw std::invalid_argument("expected key=value, got: " +
+                                std::string(argv[i]));
   }
   return cfg;
 }
@@ -71,7 +85,11 @@ std::string Config::get(const std::string& key,
 long long Config::get(const std::string& key, long long fallback) const {
   auto v = raw(key);
   if (!v) return fallback;
-  return std::stoll(*v);
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad integer for " + key + ": " + *v);
+  }
 }
 
 int Config::get(const std::string& key, int fallback) const {
@@ -81,7 +99,11 @@ int Config::get(const std::string& key, int fallback) const {
 double Config::get(const std::string& key, double fallback) const {
   auto v = raw(key);
   if (!v) return fallback;
-  return std::stod(*v);
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad number for " + key + ": " + *v);
+  }
 }
 
 bool Config::get(const std::string& key, bool fallback) const {
