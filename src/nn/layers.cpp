@@ -24,19 +24,92 @@ void Linear::init_xavier(util::Rng& rng) {
   b_.fill(0.0);
 }
 
-Matrix Linear::forward(const Matrix& x) {
+void Linear::forward_into(const Matrix& x, Matrix& y) {
   assert(x.cols() == w_.rows());
+  assert(&x != &y);
   cache_x_ = x;
-  Matrix y = matmul(x, w_);
+  matmul_into(y, x, w_);
   add_row_inplace(y, b_);
+}
+
+Matrix Linear::forward(const Matrix& x) {
+  Matrix y;
+  forward_into(x, y);
   return y;
 }
 
-Matrix Linear::backward(const Matrix& grad_out) {
+void Linear::infer_into(const Matrix& x, Matrix& y) {
+  assert(x.cols() == w_.rows());
+  assert(&x != &y);
+  matmul_into(y, x, w_);
+  add_row_inplace(y, b_);
+}
+
+namespace {
+
+/// Nonzero count (also reports whether every entry is finite); one cheap
+/// pass used to pick the cheaper, equally bit-exact formulation of the
+/// weight-gradient matmul below.
+std::size_t count_nonzero(const Matrix& m, bool& all_finite) {
+  std::size_t nnz = 0;
+  bool finite = true;
+  const double* p = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    nnz += p[i] != 0.0 ? 1 : 0;
+    finite &= std::isfinite(p[i]);
+  }
+  all_finite = finite;
+  return nnz;
+}
+
+/// stage = xᵀ·g, computed either directly (kernel skips zero x entries) or
+/// as (gᵀ·x)ᵀ (kernel skips zero g entries), whichever formulation visits
+/// fewer nonzero rank-1 terms. With finite operands both orders sum each
+/// output element in ascending batch order over the same nonzero products,
+/// so the result bits are identical — the masked DQN loss makes g extremely
+/// sparse, and ReLU makes x sparse, so the winner varies per layer. A
+/// non-finite entry could make the two skip sets observable (NaN·0), so
+/// that case pins the direct (pre-refactor) formulation.
+void weight_grad_into(Matrix& stage, Matrix& scratch, const Matrix& x,
+                      const Matrix& g) {
+  bool x_finite = true, g_finite = true;
+  const std::size_t direct_cost = count_nonzero(x, x_finite) * g.cols();
+  const std::size_t swapped_cost =
+      count_nonzero(g, g_finite) * x.cols() + x.cols() * g.cols();
+  if (x_finite && g_finite && swapped_cost < direct_cost) {
+    matmul_tn_into(scratch, g, x);
+    transpose_into(stage, scratch);
+  } else {
+    matmul_tn_into(stage, x, g);
+  }
+}
+
+}  // namespace
+
+void Linear::backward_params_only(const Matrix& grad_out,
+                                  Matrix& /*scratch*/) {
   assert(grad_out.rows() == cache_x_.rows() && grad_out.cols() == w_.cols());
-  gw_ += matmul_tn(cache_x_, grad_out);
-  gb_ += column_sums(grad_out);
-  return matmul_nt(grad_out, w_);
+  weight_grad_into(gw_stage_, w_t_, cache_x_, grad_out);
+  gw_ += gw_stage_;
+  column_sums_into(gb_stage_, grad_out);
+  gb_ += gb_stage_;
+}
+
+void Linear::backward_into(const Matrix& grad_out, Matrix& grad_in) {
+  assert(grad_out.rows() == cache_x_.rows() && grad_out.cols() == w_.cols());
+  assert(&grad_out != &grad_in);
+  weight_grad_into(gw_stage_, w_t_, cache_x_, grad_out);
+  gw_ += gw_stage_;
+  column_sums_into(gb_stage_, grad_out);
+  gb_ += gb_stage_;
+  transpose_into(w_t_, w_);
+  matmul_into(grad_in, grad_out, w_t_);
+}
+
+Matrix Linear::backward(const Matrix& grad_out) {
+  Matrix grad_in;
+  backward_into(grad_out, grad_in);
+  return grad_in;
 }
 
 void Linear::zero_grads() {
@@ -51,36 +124,85 @@ std::unique_ptr<Layer> Linear::clone() const {
   return copy;
 }
 
-Matrix ReLU::forward(const Matrix& x) {
+void ReLU::forward_into(const Matrix& x, Matrix& y) {
+  assert(&x != &y);
   cache_x_ = x;
-  Matrix y = x;
-  for (double& v : y.raw()) v = v > 0.0 ? v : 0.0;
+  y.resize_fast(x.rows(), x.cols());
+  const double* __restrict__ px = x.data();
+  double* __restrict__ py = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) py[i] = px[i] > 0.0 ? px[i] : 0.0;
+}
+
+Matrix ReLU::forward(const Matrix& x) {
+  Matrix y;
+  forward_into(x, y);
   return y;
+}
+
+void ReLU::infer_into(const Matrix& x, Matrix& y) {
+  assert(&x != &y);
+  y.resize_fast(x.rows(), x.cols());
+  const double* __restrict__ px = x.data();
+  double* __restrict__ py = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) py[i] = px[i] > 0.0 ? px[i] : 0.0;
+}
+
+void ReLU::backward_into(const Matrix& grad_out, Matrix& grad_in) {
+  assert(grad_out.rows() == cache_x_.rows());
+  assert(&grad_out != &grad_in);
+  grad_in.resize_fast(grad_out.rows(), grad_out.cols());
+  const double* __restrict__ pg = grad_out.data();
+  const double* __restrict__ pc = cache_x_.data();
+  double* __restrict__ pi = grad_in.data();
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    pi[i] = pc[i] <= 0.0 ? 0.0 : pg[i];
+  }
 }
 
 Matrix ReLU::backward(const Matrix& grad_out) {
-  assert(grad_out.rows() == cache_x_.rows());
-  Matrix g = grad_out;
-  for (std::size_t i = 0; i < g.raw().size(); ++i) {
-    if (cache_x_.raw()[i] <= 0.0) g.raw()[i] = 0.0;
-  }
-  return g;
+  Matrix grad_in;
+  backward_into(grad_out, grad_in);
+  return grad_in;
+}
+
+void Tanh::forward_into(const Matrix& x, Matrix& y) {
+  assert(&x != &y);
+  y.resize_fast(x.rows(), x.cols());
+  const double* __restrict__ px = x.data();
+  double* __restrict__ py = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) py[i] = std::tanh(px[i]);
+  cache_y_ = y;
 }
 
 Matrix Tanh::forward(const Matrix& x) {
-  Matrix y = x;
-  for (double& v : y.raw()) v = std::tanh(v);
-  cache_y_ = y;
+  Matrix y;
+  forward_into(x, y);
   return y;
 }
 
-Matrix Tanh::backward(const Matrix& grad_out) {
-  Matrix g = grad_out;
-  for (std::size_t i = 0; i < g.raw().size(); ++i) {
-    const double y = cache_y_.raw()[i];
-    g.raw()[i] *= 1.0 - y * y;
+void Tanh::infer_into(const Matrix& x, Matrix& y) {
+  assert(&x != &y);
+  y.resize_fast(x.rows(), x.cols());
+  const double* __restrict__ px = x.data();
+  double* __restrict__ py = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) py[i] = std::tanh(px[i]);
+}
+
+void Tanh::backward_into(const Matrix& grad_out, Matrix& grad_in) {
+  assert(&grad_out != &grad_in);
+  grad_in.resize_fast(grad_out.rows(), grad_out.cols());
+  const double* __restrict__ pg = grad_out.data();
+  const double* __restrict__ pc = cache_y_.data();
+  double* __restrict__ pi = grad_in.data();
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    pi[i] = pg[i] * (1.0 - pc[i] * pc[i]);
   }
-  return g;
+}
+
+Matrix Tanh::backward(const Matrix& grad_out) {
+  Matrix grad_in;
+  backward_into(grad_out, grad_in);
+  return grad_in;
 }
 
 DuelingHead::DuelingHead(std::size_t in, std::size_t actions)
@@ -91,41 +213,81 @@ void DuelingHead::init_he(util::Rng& rng) {
   advantage_.init_he(rng);
 }
 
-Matrix DuelingHead::forward(const Matrix& x) {
-  const Matrix v = value_.forward(x);        // (batch, 1)
-  const Matrix a = advantage_.forward(x);    // (batch, n)
-  Matrix q = a;
-  const auto n = static_cast<double>(a.cols());
-  for (std::size_t r = 0; r < a.rows(); ++r) {
+void DuelingHead::forward_into(const Matrix& x, Matrix& y) {
+  assert(&x != &y);
+  value_.forward_into(x, v_ws_);      // (batch, 1)
+  advantage_.forward_into(x, a_ws_);  // (batch, n)
+  y.resize_fast(a_ws_.rows(), a_ws_.cols());
+  const auto n = static_cast<double>(a_ws_.cols());
+  for (std::size_t r = 0; r < a_ws_.rows(); ++r) {
     double mean = 0.0;
-    for (std::size_t c = 0; c < a.cols(); ++c) mean += a.at(r, c);
+    for (std::size_t c = 0; c < a_ws_.cols(); ++c) mean += a_ws_.at(r, c);
     mean /= n;
-    for (std::size_t c = 0; c < a.cols(); ++c) {
-      q.at(r, c) = v.at(r, 0) + a.at(r, c) - mean;
+    for (std::size_t c = 0; c < a_ws_.cols(); ++c) {
+      y.at(r, c) = v_ws_.at(r, 0) + a_ws_.at(r, c) - mean;
     }
   }
-  return q;
 }
 
-Matrix DuelingHead::backward(const Matrix& grad_out) {
+Matrix DuelingHead::forward(const Matrix& x) {
+  Matrix y;
+  forward_into(x, y);
+  return y;
+}
+
+void DuelingHead::infer_into(const Matrix& x, Matrix& y) {
+  assert(&x != &y);
+  value_.infer_into(x, v_ws_);
+  advantage_.infer_into(x, a_ws_);
+  y.resize_fast(a_ws_.rows(), a_ws_.cols());
+  const auto n = static_cast<double>(a_ws_.cols());
+  for (std::size_t r = 0; r < a_ws_.rows(); ++r) {
+    double mean = 0.0;
+    for (std::size_t c = 0; c < a_ws_.cols(); ++c) mean += a_ws_.at(r, c);
+    mean /= n;
+    for (std::size_t c = 0; c < a_ws_.cols(); ++c) {
+      y.at(r, c) = v_ws_.at(r, 0) + a_ws_.at(r, c) - mean;
+    }
+  }
+}
+
+void DuelingHead::split_grad(const Matrix& grad_out) {
   // q_rc = v_r + a_rc - mean_c(a_r) =>
   //   dv_r  = sum_c dq_rc
   //   da_rc = dq_rc - mean_c(dq_r)
-  Matrix dv(grad_out.rows(), 1);
-  Matrix da = grad_out;
+  dv_ws_.resize(grad_out.rows(), 1);
+  da_ws_ = grad_out;
   const auto n = static_cast<double>(grad_out.cols());
   for (std::size_t r = 0; r < grad_out.rows(); ++r) {
     double total = 0.0;
     for (std::size_t c = 0; c < grad_out.cols(); ++c)
       total += grad_out.at(r, c);
-    dv.at(r, 0) = total;
+    dv_ws_.at(r, 0) = total;
     const double mean = total / n;
     for (std::size_t c = 0; c < grad_out.cols(); ++c)
-      da.at(r, c) = grad_out.at(r, c) - mean;
+      da_ws_.at(r, c) = grad_out.at(r, c) - mean;
   }
-  Matrix dx = value_.backward(dv);
-  dx += advantage_.backward(da);
-  return dx;
+}
+
+void DuelingHead::backward_into(const Matrix& grad_out, Matrix& grad_in) {
+  assert(&grad_out != &grad_in);
+  split_grad(grad_out);
+  value_.backward_into(dv_ws_, grad_in);
+  advantage_.backward_into(da_ws_, dx_ws_);
+  grad_in += dx_ws_;
+}
+
+Matrix DuelingHead::backward(const Matrix& grad_out) {
+  Matrix grad_in;
+  backward_into(grad_out, grad_in);
+  return grad_in;
+}
+
+void DuelingHead::backward_params_only(const Matrix& grad_out,
+                                       Matrix& scratch) {
+  split_grad(grad_out);
+  value_.backward_params_only(dv_ws_, scratch);
+  advantage_.backward_params_only(da_ws_, scratch);
 }
 
 std::vector<Matrix*> DuelingHead::params() {
@@ -140,6 +302,18 @@ std::vector<Matrix*> DuelingHead::grads() {
   return out;
 }
 
+std::vector<const Matrix*> DuelingHead::params() const {
+  std::vector<const Matrix*> out = value_.params();
+  for (const Matrix* p : advantage_.params()) out.push_back(p);
+  return out;
+}
+
+std::vector<const Matrix*> DuelingHead::grads() const {
+  std::vector<const Matrix*> out = value_.grads();
+  for (const Matrix* g : advantage_.grads()) out.push_back(g);
+  return out;
+}
+
 void DuelingHead::zero_grads() {
   value_.zero_grads();
   advantage_.zero_grads();
@@ -147,8 +321,8 @@ void DuelingHead::zero_grads() {
 
 std::unique_ptr<Layer> DuelingHead::clone() const {
   auto copy = std::make_unique<DuelingHead>(fan_in(), actions());
-  auto src = const_cast<DuelingHead*>(this)->params();
-  auto dst = copy->params();
+  const std::vector<const Matrix*> src = params();
+  const std::vector<Matrix*> dst = copy->params();
   for (std::size_t i = 0; i < src.size(); ++i) *dst[i] = *src[i];
   return copy;
 }
@@ -182,6 +356,8 @@ Mlp::Mlp(const Mlp& other)
     : input_size_(other.input_size_), output_size_(other.output_size_),
       activation_(other.activation_), dueling_(other.dueling_),
       sizes_(other.sizes_) {
+  // Workspace buffers and pointer caches are intentionally not copied; they
+  // rebuild lazily against this copy's own layers.
   for (const auto& layer : other.layers_) layers_.push_back(layer->clone());
 }
 
@@ -206,37 +382,110 @@ Matrix Mlp::backward(const Matrix& grad_out) {
   return g;
 }
 
+const Matrix& Mlp::forward_ws(const Matrix& x) {
+  assert(!layers_.empty());
+  acts_.resize(layers_.size());  // no-op after the first call
+  const Matrix* in = &x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->forward_into(*in, acts_[i]);
+    in = &acts_[i];
+  }
+  return *in;
+}
+
+const Matrix& Mlp::backward_ws(const Matrix& grad_out) {
+  assert(!layers_.empty());
+  const Matrix* g = &grad_out;
+  bool ping = true;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    Matrix& dst = ping ? grad_ping_ : grad_pong_;
+    (*it)->backward_into(*g, dst);
+    g = &dst;
+    ping = !ping;
+  }
+  return *g;
+}
+
+const Matrix& Mlp::infer_ws(const Matrix& x) {
+  assert(!layers_.empty());
+  acts_.resize(layers_.size());  // no-op after the first call
+  const Matrix* in = &x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->infer_into(*in, acts_[i]);
+    in = &acts_[i];
+  }
+  return *in;
+}
+
+void Mlp::backward_params_ws(const Matrix& grad_out) {
+  assert(!layers_.empty());
+  const Matrix* g = &grad_out;
+  bool ping = true;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    Matrix& dst = ping ? grad_ping_ : grad_pong_;
+    if (it + 1 == layers_.rend()) {
+      // First layer of the stack: its input gradient has no consumer.
+      (*it)->backward_params_only(*g, dst);
+      return;
+    }
+    (*it)->backward_into(*g, dst);
+    g = &dst;
+    ping = !ping;
+  }
+}
+
 void Mlp::zero_grads() {
   for (auto& layer : layers_) layer->zero_grads();
 }
 
-std::vector<Matrix*> Mlp::params() {
-  std::vector<Matrix*> out;
-  for (auto& layer : layers_) {
-    for (Matrix* p : layer->params()) out.push_back(p);
+const std::vector<Matrix*>& Mlp::params() {
+  if (params_cache_.empty()) {
+    for (auto& layer : layers_) {
+      for (Matrix* p : layer->params()) params_cache_.push_back(p);
+    }
+  }
+  return params_cache_;
+}
+
+const std::vector<Matrix*>& Mlp::grads() {
+  if (grads_cache_.empty()) {
+    for (auto& layer : layers_) {
+      for (Matrix* g : layer->grads()) grads_cache_.push_back(g);
+    }
+  }
+  return grads_cache_;
+}
+
+std::vector<const Matrix*> Mlp::params() const {
+  std::vector<const Matrix*> out;
+  for (const auto& layer : layers_) {
+    for (const Matrix* p :
+         static_cast<const Layer&>(*layer).params()) {
+      out.push_back(p);
+    }
   }
   return out;
 }
 
-std::vector<Matrix*> Mlp::grads() {
-  std::vector<Matrix*> out;
-  for (auto& layer : layers_) {
-    for (Matrix* g : layer->grads()) out.push_back(g);
+std::vector<const Matrix*> Mlp::grads() const {
+  std::vector<const Matrix*> out;
+  for (const auto& layer : layers_) {
+    for (const Matrix* g : static_cast<const Layer&>(*layer).grads()) {
+      out.push_back(g);
+    }
   }
   return out;
 }
 
 std::size_t Mlp::num_parameters() const {
   std::size_t total = 0;
-  for (const auto& layer : layers_) {
-    for (Matrix* p : const_cast<Layer&>(*layer).params()) total += p->size();
-  }
+  for (const Matrix* p : params()) total += p->size();
   return total;
 }
 
 void Mlp::copy_weights_from(const Mlp& other) {
-  auto dst = params();
-  auto src = const_cast<Mlp&>(other).params();
+  const std::vector<Matrix*>& dst = params();
+  const std::vector<const Matrix*> src = other.params();
   if (dst.size() != src.size())
     throw std::invalid_argument("copy_weights_from: structure mismatch");
   for (std::size_t i = 0; i < dst.size(); ++i) {
@@ -247,8 +496,8 @@ void Mlp::copy_weights_from(const Mlp& other) {
 }
 
 void Mlp::soft_update_from(const Mlp& other, double tau) {
-  auto dst = params();
-  auto src = const_cast<Mlp&>(other).params();
+  const std::vector<Matrix*>& dst = params();
+  const std::vector<const Matrix*> src = other.params();
   assert(dst.size() == src.size());
   for (std::size_t i = 0; i < dst.size(); ++i) {
     auto& d = dst[i]->raw();
@@ -277,9 +526,7 @@ void Mlp::save(std::ostream& os) const {
   for (std::size_t s : sizes_) os << s << ' ';
   os << (activation_ == Activation::kReLU ? "relu" : "tanh") << ' '
      << (dueling_ ? "dueling" : "plain") << '\n';
-  for (const auto& layer : layers_) {
-    for (Matrix* p : const_cast<Layer&>(*layer).params()) p->save(os);
-  }
+  for (const Matrix* p : params()) p->save(os);
 }
 
 Mlp Mlp::load(std::istream& is) {

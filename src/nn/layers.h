@@ -1,6 +1,12 @@
 // Layers and the MLP container. Forward caches what backward needs; backward
 // accumulates parameter gradients and returns the input gradient, so layers
 // compose by simple chaining.
+//
+// Every layer offers two equivalent compute paths: the value-returning
+// forward()/backward() convenience API, and the allocation-free
+// forward_into()/backward_into() workspace API that writes into caller-owned
+// buffers (used by Mlp::forward_ws / Mlp::backward_ws and the DQN learn
+// step). Both paths produce bit-identical results.
 #pragma once
 
 #include <iosfwd>
@@ -21,9 +27,28 @@ class Layer {
   virtual Matrix forward(const Matrix& x) = 0;
   /// grad wrt output -> grad wrt input; accumulates parameter grads.
   virtual Matrix backward(const Matrix& grad_out) = 0;
+  /// Allocation-free paths: write the result into `y` / `grad_in`, which
+  /// must not alias the input. The defaults fall back to the value API;
+  /// concrete layers override with zero-allocation implementations.
+  virtual void forward_into(const Matrix& x, Matrix& y) { y = forward(x); }
+  virtual void backward_into(const Matrix& grad_out, Matrix& grad_in) {
+    grad_in = backward(grad_out);
+  }
+  /// Inference-only forward: same outputs as forward_into, but skips the
+  /// backward caches (target-network evaluation, greedy action selection).
+  virtual void infer_into(const Matrix& x, Matrix& y) { forward_into(x, y); }
+  /// Backward that only accumulates parameter gradients, skipping the
+  /// input-gradient matmul — valid for the FIRST layer of a network, whose
+  /// input gradient nobody consumes. `scratch` is workspace for the
+  /// default fallback.
+  virtual void backward_params_only(const Matrix& grad_out, Matrix& scratch) {
+    backward_into(grad_out, scratch);
+  }
   /// Parameter / gradient views (empty for activations).
   virtual std::vector<Matrix*> params() { return {}; }
   virtual std::vector<Matrix*> grads() { return {}; }
+  virtual std::vector<const Matrix*> params() const { return {}; }
+  virtual std::vector<const Matrix*> grads() const { return {}; }
   virtual void zero_grads() {}
   virtual std::unique_ptr<Layer> clone() const = 0;
 };
@@ -40,8 +65,14 @@ class Linear : public Layer {
   std::string name() const override { return "linear"; }
   Matrix forward(const Matrix& x) override;
   Matrix backward(const Matrix& grad_out) override;
+  void forward_into(const Matrix& x, Matrix& y) override;
+  void backward_into(const Matrix& grad_out, Matrix& grad_in) override;
+  void infer_into(const Matrix& x, Matrix& y) override;
+  void backward_params_only(const Matrix& grad_out, Matrix& scratch) override;
   std::vector<Matrix*> params() override { return {&w_, &b_}; }
   std::vector<Matrix*> grads() override { return {&gw_, &gb_}; }
+  std::vector<const Matrix*> params() const override { return {&w_, &b_}; }
+  std::vector<const Matrix*> grads() const override { return {&gw_, &gb_}; }
   void zero_grads() override;
   std::unique_ptr<Layer> clone() const override;
 
@@ -52,6 +83,16 @@ class Linear : public Layer {
 
  private:
   Matrix w_, b_, gw_, gb_, cache_x_;
+  // Gradient staging: matmul results land here, then accumulate into
+  // gw_/gb_ with the same element-wise add as the value API (bit-identity
+  // even when gradients are accumulated across multiple backward calls).
+  Matrix gw_stage_, gb_stage_;
+  // Wᵀ scratch: the input gradient grad_out·Wᵀ runs through the
+  // vectorisable row-major matmul kernel instead of scalar dot products.
+  // Bit-identical to matmul_nt: each element's terms stay in ascending-k
+  // order, and the kernel's ±0-term skip cannot change a +0-seeded
+  // accumulator (x + ±0 == x for every x the skip path can see).
+  Matrix w_t_;
 };
 
 class ReLU : public Layer {
@@ -59,6 +100,9 @@ class ReLU : public Layer {
   std::string name() const override { return "relu"; }
   Matrix forward(const Matrix& x) override;
   Matrix backward(const Matrix& grad_out) override;
+  void forward_into(const Matrix& x, Matrix& y) override;
+  void backward_into(const Matrix& grad_out, Matrix& grad_in) override;
+  void infer_into(const Matrix& x, Matrix& y) override;
   std::unique_ptr<Layer> clone() const override {
     return std::make_unique<ReLU>();
   }
@@ -72,6 +116,9 @@ class Tanh : public Layer {
   std::string name() const override { return "tanh"; }
   Matrix forward(const Matrix& x) override;
   Matrix backward(const Matrix& grad_out) override;
+  void forward_into(const Matrix& x, Matrix& y) override;
+  void backward_into(const Matrix& grad_out, Matrix& grad_in) override;
+  void infer_into(const Matrix& x, Matrix& y) override;
   std::unique_ptr<Layer> clone() const override {
     return std::make_unique<Tanh>();
   }
@@ -91,8 +138,14 @@ class DuelingHead : public Layer {
   std::string name() const override { return "dueling"; }
   Matrix forward(const Matrix& x) override;
   Matrix backward(const Matrix& grad_out) override;
+  void forward_into(const Matrix& x, Matrix& y) override;
+  void backward_into(const Matrix& grad_out, Matrix& grad_in) override;
+  void infer_into(const Matrix& x, Matrix& y) override;
+  void backward_params_only(const Matrix& grad_out, Matrix& scratch) override;
   std::vector<Matrix*> params() override;
   std::vector<Matrix*> grads() override;
+  std::vector<const Matrix*> params() const override;
+  std::vector<const Matrix*> grads() const override;
   void zero_grads() override;
   std::unique_ptr<Layer> clone() const override;
 
@@ -100,8 +153,14 @@ class DuelingHead : public Layer {
   std::size_t actions() const { return advantage_.fan_out(); }
 
  private:
+  /// Splits dL/dq into the value gradient (dv_ws_) and the mean-centred
+  /// advantage gradient (da_ws_): dv_r = Σ_c dq_rc, da_rc = dq_rc - mean.
+  void split_grad(const Matrix& grad_out);
+
   Linear value_;      ///< in -> 1
   Linear advantage_;  ///< in -> actions
+  // Workspace for the allocation-free paths.
+  Matrix v_ws_, a_ws_, dv_ws_, da_ws_, dx_ws_;
 };
 
 enum class Activation { kReLU, kTanh };
@@ -124,10 +183,28 @@ class Mlp {
   Matrix forward(const Matrix& x);
   /// Gradient wrt network input (parameter grads accumulated inside).
   Matrix backward(const Matrix& grad_out);
+
+  /// Workspace paths: identical math to forward()/backward(), but all
+  /// intermediate activations/gradients live in persistent per-layer
+  /// buffers, so steady-state calls perform zero heap allocations. The
+  /// returned reference is valid until the next *_ws call on this Mlp.
+  const Matrix& forward_ws(const Matrix& x);
+  const Matrix& backward_ws(const Matrix& grad_out);
+  /// Inference-only workspace forward: same values as forward_ws but no
+  /// backward caches are written (safe for target nets / greedy eval).
+  const Matrix& infer_ws(const Matrix& x);
+  /// backward_ws minus the first layer's input-gradient matmul — for
+  /// training steps that never consume the gradient wrt the network input.
+  void backward_params_ws(const Matrix& grad_out);
+
   void zero_grads();
 
-  std::vector<Matrix*> params();
-  std::vector<Matrix*> grads();
+  /// Cached parameter / gradient pointer lists (built once; the layer
+  /// structure of an Mlp never changes after construction).
+  const std::vector<Matrix*>& params();
+  const std::vector<Matrix*>& grads();
+  std::vector<const Matrix*> params() const;
+  std::vector<const Matrix*> grads() const;
   std::size_t num_parameters() const;
 
   /// Hard copy of all weights (target-network sync).
@@ -151,6 +228,11 @@ class Mlp {
   Activation activation_ = Activation::kReLU;
   bool dueling_ = false;
   std::vector<std::size_t> sizes_;
+  // Workspace (not copied; rebuilt lazily). acts_[i] holds layer i's
+  // output; gradients ping-pong between two buffers through backward_ws.
+  std::vector<Matrix> acts_;
+  Matrix grad_ping_, grad_pong_;
+  std::vector<Matrix*> params_cache_, grads_cache_;
 };
 
 }  // namespace drlnoc::nn

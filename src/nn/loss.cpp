@@ -46,11 +46,20 @@ MaskedLossResult masked_huber_loss(const Matrix& pred,
                                    const std::vector<double>& target,
                                    const std::vector<double>& weight,
                                    double delta) {
+  MaskedLossResult out;
+  masked_huber_loss_into(out, pred, action, target, weight, delta);
+  return out;
+}
+
+void masked_huber_loss_into(MaskedLossResult& out, const Matrix& pred,
+                            const std::vector<int>& action,
+                            const std::vector<double>& target,
+                            const std::vector<double>& weight,
+                            double delta) {
   assert(action.size() == pred.rows());
   assert(target.size() == pred.rows());
   assert(weight.size() == pred.rows());
-  MaskedLossResult out;
-  out.grad = Matrix(pred.rows(), pred.cols(), 0.0);
+  out.grad.resize(pred.rows(), pred.cols(), 0.0);
   out.td_abs.resize(pred.rows());
   const double n = static_cast<double>(pred.rows());
   double acc = 0.0;
@@ -69,7 +78,6 @@ MaskedLossResult masked_huber_loss(const Matrix& pred,
     }
   }
   out.loss = acc / n;
-  return out;
 }
 
 }  // namespace drlnoc::nn

@@ -40,4 +40,13 @@ MaskedLossResult masked_huber_loss(const Matrix& pred,
                                    const std::vector<double>& weight,
                                    double delta = 1.0);
 
+/// Allocation-free variant: reuses `out`'s grad matrix and td_abs vector
+/// (the DQN learn step calls this every gradient step with a persistent
+/// workspace). Results are bit-identical to masked_huber_loss().
+void masked_huber_loss_into(MaskedLossResult& out, const Matrix& pred,
+                            const std::vector<int>& action,
+                            const std::vector<double>& target,
+                            const std::vector<double>& weight,
+                            double delta = 1.0);
+
 }  // namespace drlnoc::nn

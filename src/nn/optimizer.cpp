@@ -21,14 +21,19 @@ void Sgd::step(const std::vector<Matrix*>& params,
     const auto& g = grads[i]->raw();
     assert(p.size() == g.size());
     if (momentum_ > 0.0) {
-      auto& v = velocity_[i];
-      if (v.size() != p.size()) v.assign(p.size(), 0.0);
+      auto& vel = velocity_[i];
+      if (vel.size() != p.size()) vel.assign(p.size(), 0.0);
+      double* __restrict__ pp = p.data();
+      const double* __restrict__ pg = g.data();
+      double* __restrict__ pv = vel.data();
       for (std::size_t j = 0; j < p.size(); ++j) {
-        v[j] = momentum_ * v[j] - lr_ * g[j];
-        p[j] += v[j];
+        pv[j] = momentum_ * pv[j] - lr_ * pg[j];
+        pp[j] += pv[j];
       }
     } else {
-      for (std::size_t j = 0; j < p.size(); ++j) p[j] -= lr_ * g[j];
+      double* __restrict__ pp = p.data();
+      const double* __restrict__ pg = g.data();
+      for (std::size_t j = 0; j < p.size(); ++j) pp[j] -= lr_ * pg[j];
     }
   }
 }
@@ -64,12 +69,19 @@ void Adam::step(const std::vector<Matrix*>& params,
       m.assign(p.size(), 0.0);
       v.assign(p.size(), 0.0);
     }
+    // Restrict pointers let the per-element div/sqrt chain vectorise
+    // (divpd/sqrtpd are exactly rounded, so results are bit-identical to
+    // the scalar loop).
+    double* __restrict__ pp = p.data();
+    const double* __restrict__ pg = g.data();
+    double* __restrict__ pm = m.data();
+    double* __restrict__ pv = v.data();
     for (std::size_t j = 0; j < p.size(); ++j) {
-      m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
-      v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
-      const double mhat = m[j] / bc1;
-      const double vhat = v[j] / bc2;
-      p[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      pm[j] = beta1_ * pm[j] + (1.0 - beta1_) * pg[j];
+      pv[j] = beta2_ * pv[j] + (1.0 - beta2_) * pg[j] * pg[j];
+      const double mhat = pm[j] / bc1;
+      const double vhat = pv[j] / bc2;
+      pp[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
 }

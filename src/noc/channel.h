@@ -6,18 +6,24 @@
 
 #include <cassert>
 #include <cstdint>
-#include <deque>
 #include <utility>
 
 #include "noc/types.h"
+#include "util/ring_buffer.h"
 
 namespace drlnoc::noc {
 
 /// FIFO delay line carrying items of type T with a fixed latency in cycles.
+///
+/// Entries live in a ring buffer sized for the credit-protocol steady state
+/// (at most one send per cycle, drained within `latency` cycles), so the
+/// per-cycle send/receive path never touches the heap; the ring only grows
+/// on bursts such as the bonus credits of a depth reconfiguration.
 template <typename T>
 class Channel {
  public:
-  explicit Channel(Cycle latency = 1) : latency_(latency) {
+  explicit Channel(Cycle latency = 1)
+      : latency_(latency), entries_(static_cast<std::size_t>(latency) + 1) {
     assert(latency >= 1 && "zero-latency channels would create same-cycle "
                            "visibility between routers");
   }
@@ -40,16 +46,32 @@ class Channel {
     return item;
   }
 
+  /// Single-copy variants of send/receive for the per-flit hot path.
+  const T& peek([[maybe_unused]] Cycle now) const {
+    assert(ready(now));
+    return entries_.front().item;
+  }
+  void receive_into(T& dst, [[maybe_unused]] Cycle now) {
+    assert(ready(now));
+    dst = std::move(entries_.front().item);
+    entries_.pop_front();
+  }
+  void send_from(const T& item, Cycle now) {
+    auto& slot = entries_.push_back_slot();
+    slot.due = now + latency_;
+    slot.item = item;
+  }
+
   bool empty() const { return entries_.empty(); }
   std::size_t in_flight() const { return entries_.size(); }
 
  private:
   struct Entry {
-    Cycle due;
-    T item;
+    Cycle due = 0;
+    T item{};
   };
   Cycle latency_;
-  std::deque<Entry> entries_;
+  util::RingBuffer<Entry> entries_;
 };
 
 using FlitChannel = Channel<Flit>;

@@ -69,6 +69,7 @@ Network::Network(NetworkParams params, PowerParams power_params,
   }
   wire();
   per_router_configs_.assign(static_cast<std::size_t>(n), config_);
+  refresh_active_capacity();
 }
 
 Network::~Network() = default;
@@ -159,6 +160,7 @@ void Network::apply_config(const NocConfig& config) {
   for (auto& nic : nics_) nic->set_active_vcs(config.active_vcs);
   config_ = config;
   per_router_configs_.assign(static_cast<std::size_t>(num_nodes()), config);
+  refresh_active_capacity();
 }
 
 void Network::apply_per_router(const std::vector<NocConfig>& configs) {
@@ -192,6 +194,7 @@ void Network::apply_per_router(const std::vector<NocConfig>& configs) {
   }
   config_ = representative;
   per_router_configs_ = configs;
+  refresh_active_capacity();
 }
 
 void Network::inject_due_traffic(TrafficInjector* injector) {
@@ -227,15 +230,11 @@ void Network::step(TrafficInjector* injector) {
   for (auto& r : routers_) r->step(cycle_);
 
   // Harvest completions and occupancy after the cycle's activity.
+  // buffered_flits() is an O(1) counter read; the capacity divisor is
+  // cached and refreshed on reconfiguration.
   int buffered = 0;
-  int max_occ = 0;
-  for (auto& r : routers_) {
-    buffered += r->buffered_flits();
-    max_occ = std::max(max_occ, r->max_vc_occupancy());
-  }
-  const double cap = static_cast<double>(active_capacity());
-  epoch_occupancy_.add(static_cast<double>(buffered) / cap);
-  (void)max_occ;
+  for (auto& r : routers_) buffered += r->buffered_flits();
+  epoch_occupancy_.add(static_cast<double>(buffered) / active_capacity_);
 
   for (auto& nic : nics_) {
     auto& recs = nic->records();
@@ -268,6 +267,10 @@ int Network::active_capacity() const {
     slots += topology_->radix() * c.active_vcs * c.active_depth;
   }
   return std::max(1, slots);
+}
+
+void Network::refresh_active_capacity() {
+  active_capacity_ = static_cast<double>(active_capacity());
 }
 
 EpochStats Network::drain_epoch_stats() {
@@ -340,7 +343,13 @@ EpochStats Network::drain_epoch_stats() {
 }
 
 std::vector<PacketRecord> Network::drain_records() {
-  return std::exchange(pending_records_, {});
+  // Copy-then-clear (rather than std::exchange with a fresh vector) so the
+  // accumulator keeps its capacity: per-cycle harvesting stays
+  // allocation-free once a window's worth of records has been seen.
+  std::vector<PacketRecord> out(pending_records_.begin(),
+                                pending_records_.end());
+  pending_records_.clear();
+  return out;
 }
 
 bool Network::drained() const {

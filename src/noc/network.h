@@ -157,6 +157,7 @@ class Network {
   void wire();
   void inject_due_traffic(TrafficInjector* injector);
   int active_capacity() const;
+  void refresh_active_capacity();
 
   NetworkParams params_;
   PowerModel power_;
@@ -171,6 +172,7 @@ class Network {
   std::vector<Link> links_;
   int num_links_ = 0;
   std::vector<NocConfig> per_router_configs_;
+  double active_capacity_ = 1.0;  ///< cached; refreshed on reconfiguration
 
   std::vector<util::Rng> node_rngs_;
   std::uint64_t next_packet_id_ = 1;

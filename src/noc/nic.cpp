@@ -103,7 +103,8 @@ void Nic::step(Cycle cycle, double core_time) {
   //    packet only when no transmission can make progress.
   int send_vc = -1;
   for (int k = 0; k < params_.max_vcs; ++k) {
-    const int v = (rr_vc_ + k) % params_.max_vcs;
+    int v = rr_vc_ + k;
+    if (v >= params_.max_vcs) v -= params_.max_vcs;
     if (tx_[static_cast<std::size_t>(v)].active &&
         credits_[static_cast<std::size_t>(v)] > 0) {
       send_vc = v;
@@ -141,12 +142,12 @@ void Nic::step(Cycle cycle, double core_time) {
               : head       ? FlitType::kHead
               : tail       ? FlitType::kTail
                            : FlitType::kBody;
-  inject_flits_->send(flit, cycle);
+  inject_flits_->send_from(flit, cycle);
   --credits_[static_cast<std::size_t>(send_vc)];
   ++injected_flits_;
   ++tx.next_seq;
   if (tail) tx.active = false;
-  rr_vc_ = (send_vc + 1) % params_.max_vcs;
+  rr_vc_ = send_vc + 1 == params_.max_vcs ? 0 : send_vc + 1;
   (void)core_time;
 }
 

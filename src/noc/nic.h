@@ -4,11 +4,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "noc/channel.h"
 #include "noc/types.h"
+#include "util/ring_buffer.h"
 
 namespace drlnoc::noc {
 
@@ -103,7 +103,7 @@ class Nic {
   FlitChannel* eject_flits_ = nullptr;
   CreditChannel* eject_credits_ = nullptr;
 
-  std::deque<PendingPacket> source_queue_;
+  util::RingBuffer<PendingPacket> source_queue_;
   std::vector<int> credits_;   ///< per injection VC
   std::vector<TxState> tx_;    ///< per injection VC
   std::vector<RxState> rx_;    ///< per ejection VC

@@ -1,7 +1,9 @@
 #include "noc/router.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <stdexcept>
 
 namespace drlnoc::noc {
 
@@ -24,11 +26,55 @@ Router::Router(NodeId id, RouterParams params, const RoutingAlgorithm& routing)
                       params.active_vcs),
       va_rr_(static_cast<std::size_t>(params.num_ports * params.max_vcs), 0),
       sa_in_rr_(static_cast<std::size_t>(params.num_ports), 0),
-      sa_out_rr_(static_cast<std::size_t>(params.num_ports), 0) {
+      sa_out_rr_(static_cast<std::size_t>(params.num_ports), 0),
+      va_head_(static_cast<std::size_t>(params.num_ports * params.max_vcs),
+               -1),
+      va_next_(static_cast<std::size_t>(params.num_ports * params.max_vcs),
+               -1),
+      vc_meta_(static_cast<std::size_t>(params.num_ports * params.max_vcs)) {
+  // Hard limits of the compact pipeline state: VcMeta packs ports/VCs/depth
+  // into int8 and SA stage 2 tracks output ports in a 32-bit mask. Checked
+  // unconditionally — exceeding them in a Release build would silently
+  // corrupt arbitration.
+  if (params.num_ports > 32 || params.max_vcs > 127 ||
+      params.max_depth > 127) {
+    throw std::invalid_argument(
+        "Router: num_ports must be <= 32 and max_vcs/max_depth <= 127");
+  }
+  const auto num_inputs =
+      static_cast<std::size_t>(params.num_ports * params.max_vcs);
+  va_touched_.reserve(num_inputs);
+  route_ready_.reserve(num_inputs);
+  va_list_.reserve(num_inputs);
+  sa_winners_.reserve(static_cast<std::size_t>(params.num_ports));
+  port_active_.assign(static_cast<std::size_t>(params.num_ports), 0);
   assert(params.max_vcs % params.vc_classes == 0);
   assert(params.active_vcs >= 1 && params.active_vcs <= params.max_vcs);
   assert(params.active_depth >= 1 && params.active_depth <= params.max_depth);
-  for (auto& in : inputs_) in.advertised = params_.active_depth;
+  for (auto& in : inputs_) {
+    in.advertised = params_.active_depth;
+    in.fifo.reserve(static_cast<std::size_t>(params_.max_depth));
+    // Adaptive algorithms return at most 3 candidates; pre-sizing keeps
+    // even a VC's first-ever route_compute allocation-free.
+    in.candidates.reserve(4);
+  }
+  vcs_per_class_ = params_.max_vcs / params_.vc_classes;
+  adm_begin_.resize(
+      static_cast<std::size_t>(params_.num_ports * params_.vc_classes));
+  adm_end_.resize(
+      static_cast<std::size_t>(params_.num_ports * params_.vc_classes));
+  refresh_admissible_cache();
+}
+
+void Router::refresh_admissible_cache() {
+  for (int p = 0; p < params_.num_ports; ++p) {
+    for (int c = 0; c < params_.vc_classes; ++c) {
+      const auto [begin, end] =
+          admissible_range(static_cast<std::uint8_t>(c), p);
+      adm_begin_[static_cast<std::size_t>(adm_index(p, c))] = begin;
+      adm_end_[static_cast<std::size_t>(adm_index(p, c))] = end;
+    }
+  }
 }
 
 void Router::connect(PortId port, FlitChannel* in_flits,
@@ -51,6 +97,7 @@ void Router::init_output_credits(PortId port, int credits_per_vc) {
 void Router::set_output_active_vcs(PortId port, int vcs) {
   assert(vcs >= 1 && vcs <= params_.max_vcs);
   out_active_vcs_[static_cast<std::size_t>(port)] = vcs;
+  refresh_admissible_cache();
 }
 
 int Router::output_active_vcs(PortId port) const {
@@ -79,12 +126,22 @@ void Router::receive_phase(Cycle cycle) {
     auto& w = ports_[static_cast<std::size_t>(p)];
     if (w.in_flits) {
       while (w.in_flits->ready(cycle)) {
-        Flit flit = w.in_flits->receive(cycle);
-        assert(flit.vc >= 0 && flit.vc < params_.max_vcs);
-        InputVc& in = ivc(p, flit.vc);
+        const VcId vc = w.in_flits->peek(cycle).vc;
+        assert(vc >= 0 && vc < params_.max_vcs);
+        InputVc& in = ivc(p, vc);
         assert(static_cast<int>(in.fifo.size()) < params_.max_depth &&
                "credit protocol violated: input buffer overflow");
-        in.fifo.push_back(flit);
+        // Single copy: channel slot straight into the input FIFO slot.
+        w.in_flits->receive_into(in.fifo.push_back_slot(), cycle);
+        const int idx = p * params_.max_vcs + vc;
+        VcMeta& meta = vc_meta_[static_cast<std::size_t>(idx)];
+        ++meta.occ;
+        // A flit landing in an empty idle VC is a freshly routable head
+        // (an idle VC with older flits was listed when its tail departed).
+        if (meta.state == VcState::kIdle && meta.occ == 1) {
+          route_ready_.push_back(static_cast<std::int16_t>(idx));
+        }
+        ++buffered_total_;
         ++activity_.buffer_writes;
       }
     }
@@ -101,152 +158,185 @@ void Router::receive_phase(Cycle cycle) {
 }
 
 void Router::route_compute() {
-  for (int p = 0; p < params_.num_ports; ++p) {
-    for (int v = 0; v < params_.max_vcs; ++v) {
-      InputVc& in = ivc(p, v);
-      if (in.state != InputVc::State::kIdle || in.fifo.empty()) continue;
-      const Flit& head = in.fifo.front();
-      assert(is_head(head.type) &&
-             "input VC idle but head-of-line flit is not a packet head");
-      in.candidates.clear();
-      routing_.route(head, id_, p, in.candidates);
-      assert(!in.candidates.empty());
-      in.state = InputVc::State::kVcAlloc;
-    }
+  // Event-driven: route_ready_ lists exactly the idle VCs whose head-of-line
+  // flit is an unrouted packet head (filled by receive_phase and tail
+  // departures). Routing-call order across VCs has no shared state, so the
+  // event order is as good as the old ascending scan.
+  for (const std::int16_t idx : route_ready_) {
+    VcMeta& meta = vc_meta_[static_cast<std::size_t>(idx)];
+    assert(meta.state == VcState::kIdle && meta.occ > 0);
+    InputVc& in = inputs_[static_cast<std::size_t>(idx)];
+    const Flit& head = in.fifo.front();
+    assert(is_head(head.type) &&
+           "input VC idle but head-of-line flit is not a packet head");
+    in.candidates.clear();
+    routing_.route(head, id_, idx / params_.max_vcs, in.candidates);
+    assert(!in.candidates.empty());
+    meta.state = VcState::kVcAlloc;
+    va_list_.push_back(idx);
   }
+  route_ready_.clear();
 }
 
 void Router::vc_allocate() {
   // Stage 1: each waiting input VC nominates its single preferred
   // (out_port, out_vc): among route candidates, the free admissible VC with
   // the most downstream credits (adaptive routing's congestion signal).
-  struct Request {
-    PortId in_port;
-    VcId in_vc;
-  };
-  // Requests bucketed per output VC slot.
-  std::vector<std::vector<Request>> requests(outputs_.size());
+  // Requests are bucketed per output VC slot in the persistent
+  // va_head_/va_next_ intrusive lists — no per-cycle heap traffic. Only the
+  // slots touched this cycle (va_touched_) are visited and reset, so a
+  // cycle with no waiting packets costs one counter check.
+  if (va_list_.empty()) return;
+  const int num_inputs = params_.num_ports * params_.max_vcs;
+  va_touched_.clear();
 
-  for (int p = 0; p < params_.num_ports; ++p) {
-    for (int v = 0; v < params_.max_vcs; ++v) {
-      InputVc& in = ivc(p, v);
-      if (in.state != InputVc::State::kVcAlloc) continue;
-      int best_slot = -1;
-      int best_credits = -1;
-      for (const RouteChoice& cand : in.candidates) {
-        const auto [begin, end] = admissible_range(cand.vc_class, cand.port);
-        for (VcId ov = begin; ov < end; ++ov) {
-          const OutputVc& out = ovc(cand.port, ov);
-          if (out.busy) continue;
-          if (out.credits > best_credits) {
-            best_credits = out.credits;
-            best_slot = cand.port * params_.max_vcs + ov;
-          }
+  for (const std::int16_t idx : va_list_) {
+    assert(vc_meta_[static_cast<std::size_t>(idx)].state ==
+           VcState::kVcAlloc);
+    const InputVc& in = inputs_[static_cast<std::size_t>(idx)];
+    int best_slot = -1;
+    int best_credits = -1;
+    for (const RouteChoice& cand : in.candidates) {
+      const auto adm =
+          static_cast<std::size_t>(adm_index(cand.port, cand.vc_class));
+      const VcId begin = adm_begin_[adm];
+      const VcId end = adm_end_[adm];
+      for (VcId ov = begin; ov < end; ++ov) {
+        const OutputVc& out = ovc(cand.port, ov);
+        if (out.busy) continue;
+        if (out.credits > best_credits) {
+          best_credits = out.credits;
+          best_slot = cand.port * params_.max_vcs + ov;
         }
-        // Deterministic algorithms have one candidate; adaptive ones are
-        // compared purely on credits, so keep scanning all candidates.
       }
-      if (best_slot >= 0) {
-        requests[static_cast<std::size_t>(best_slot)].push_back(
-            Request{p, v});
+      // Deterministic algorithms have one candidate; adaptive ones are
+      // compared purely on credits, so keep scanning all candidates.
+    }
+    if (best_slot >= 0) {
+      if (va_head_[static_cast<std::size_t>(best_slot)] < 0) {
+        va_touched_.push_back(best_slot);
       }
+      va_next_[static_cast<std::size_t>(idx)] =
+          va_head_[static_cast<std::size_t>(best_slot)];
+      va_head_[static_cast<std::size_t>(best_slot)] = idx;
     }
   }
 
-  // Stage 2: round-robin grant per output VC.
-  for (std::size_t slot = 0; slot < requests.size(); ++slot) {
-    auto& reqs = requests[slot];
-    if (reqs.empty()) continue;
+  // Stage 2: round-robin grant per output VC. The winner is the requester
+  // with the minimum cyclic distance from the round-robin pointer; input
+  // slot indices are unique, so list order is immaterial — and so is the
+  // slot visit order, because each input requests exactly one slot and the
+  // grants touch disjoint state.
+  for (const int touched : va_touched_) {
+    const auto slot = static_cast<std::size_t>(touched);
+    int req = va_head_[slot];
+    assert(req >= 0);
     OutputVc& out = outputs_[slot];
     assert(!out.busy);
     int& rr = va_rr_[slot];
-    // Pick the first requester at or after the round-robin pointer, keyed by
-    // input slot index.
-    const int num_inputs = params_.num_ports * params_.max_vcs;
-    const Request* winner = nullptr;
+    int winner = -1;
     int best_distance = num_inputs + 1;
-    for (const Request& r : reqs) {
-      const int idx = r.in_port * params_.max_vcs + r.in_vc;
-      const int dist = (idx - rr + num_inputs) % num_inputs;
+    for (; req >= 0; req = va_next_[static_cast<std::size_t>(req)]) {
+      int dist = req - rr;  // cyclic distance without the integer divide
+      if (dist < 0) dist += num_inputs;
       if (dist < best_distance) {
         best_distance = dist;
-        winner = &r;
+        winner = req;
       }
     }
-    InputVc& in = ivc(winner->in_port, winner->in_vc);
-    in.out_port = static_cast<PortId>(slot) / params_.max_vcs;
-    in.out_vc = static_cast<VcId>(slot) % params_.max_vcs;
-    in.state = InputVc::State::kActive;
+    VcMeta& wmeta = vc_meta_[static_cast<std::size_t>(winner)];
+    wmeta.out_port = static_cast<std::int8_t>(touched / params_.max_vcs);
+    wmeta.out_vc = static_cast<std::int8_t>(touched % params_.max_vcs);
+    wmeta.state = VcState::kActive;
+    for (std::size_t i = 0; i < va_list_.size(); ++i) {  // tiny list
+      if (va_list_[i] == winner) {
+        va_list_[i] = va_list_.back();
+        va_list_.pop_back();
+        break;
+      }
+    }
+    ++port_active_[static_cast<std::size_t>(winner / params_.max_vcs)];
+    ++sa_active_;
     out.busy = true;
-    rr = (winner->in_port * params_.max_vcs + winner->in_vc + 1) % num_inputs;
+    rr = winner + 1 == num_inputs ? 0 : winner + 1;
     ++activity_.vc_allocs;
+    va_head_[slot] = -1;  // reset for the next cycle
   }
 }
 
 void Router::switch_allocate_and_traverse(Cycle cycle) {
   // Stage 1: per input port, round-robin across its ACTIVE VCs that have a
-  // flit and a downstream credit.
-  struct Winner {
-    PortId in_port;
-    VcId in_vc;
-  };
-  std::vector<std::vector<Winner>> per_output(
-      static_cast<std::size_t>(params_.num_ports));
-
+  // flit and a downstream credit. Ports with no active VC (port_active_)
+  // are skipped outright; winners land in the small sa_winners_ scratch.
+  if (sa_active_ == 0) return;  // no packet owns an output VC
+  sa_winners_.clear();
+  std::uint32_t op_mask = 0;
   for (int p = 0; p < params_.num_ports; ++p) {
+    if (port_active_[static_cast<std::size_t>(p)] == 0) continue;
     const int rr = sa_in_rr_[static_cast<std::size_t>(p)];
-    int chosen = -1;
+    const int base = p * params_.max_vcs;
     for (int k = 0; k < params_.max_vcs; ++k) {
-      const int v = (rr + k) % params_.max_vcs;
-      InputVc& in = ivc(p, v);
-      if (in.state != InputVc::State::kActive || in.fifo.empty()) continue;
-      OutputVc& out = ovc(in.out_port, in.out_vc);
+      int v = rr + k;
+      if (v >= params_.max_vcs) v -= params_.max_vcs;
+      const VcMeta& meta = vc_meta_[static_cast<std::size_t>(base + v)];
+      if (meta.state != VcState::kActive || meta.occ == 0) continue;
+      const OutputVc& out = ovc(meta.out_port, meta.out_vc);
       if (out.credits <= 0) continue;
-      chosen = v;
-      break;
-    }
-    if (chosen >= 0) {
+      sa_winners_.push_back(SaWinner{static_cast<std::int8_t>(p),
+                                     static_cast<std::int8_t>(v),
+                                     meta.out_port});
+      op_mask |= 1u << meta.out_port;
       ++activity_.sw_arbs;
-      const InputVc& in = ivc(p, chosen);
-      per_output[static_cast<std::size_t>(in.out_port)].push_back(
-          Winner{p, chosen});
+      break;
     }
   }
 
-  // Stage 2: per output port, round-robin across input ports; one flit per
-  // output per cycle, then switch + link traversal.
-  for (int op = 0; op < params_.num_ports; ++op) {
-    auto& winners = per_output[static_cast<std::size_t>(op)];
-    if (winners.empty()) continue;
+  // Stage 2: per output port with winners (ascending, via the bit mask),
+  // round-robin across the requesting input ports; one flit per output per
+  // cycle, then switch + link traversal. Each input port targets exactly
+  // one output port, so the minimum-cyclic-distance winner over the
+  // stage-1 winner list reproduces the old full bucketed scan.
+  while (op_mask != 0) {
+    const int op = std::countr_zero(op_mask);
+    op_mask &= op_mask - 1;
     int& rr = sa_out_rr_[static_cast<std::size_t>(op)];
-    const Winner* grant = nullptr;
+    int grant_port = -1;
+    int grant_vc = -1;
     int best_distance = params_.num_ports + 1;
-    for (const Winner& w : winners) {
-      const int dist = (w.in_port - rr + params_.num_ports) % params_.num_ports;
+    for (const SaWinner& w : sa_winners_) {
+      if (w.out_port != op) continue;
+      int dist = w.in_port - rr;
+      if (dist < 0) dist += params_.num_ports;
       if (dist < best_distance) {
         best_distance = dist;
-        grant = &w;
+        grant_port = w.in_port;
+        grant_vc = w.in_vc;
       }
     }
-    rr = (grant->in_port + 1) % params_.num_ports;
+    assert(grant_port >= 0);
+    rr = grant_port + 1 == params_.num_ports ? 0 : grant_port + 1;
     // Advance the granted input port's VC round-robin so one persistently
     // busy VC cannot starve its siblings across back-to-back packets.
-    sa_in_rr_[static_cast<std::size_t>(grant->in_port)] =
-        (grant->in_vc + 1) % params_.max_vcs;
+    sa_in_rr_[static_cast<std::size_t>(grant_port)] =
+        grant_vc + 1 == params_.max_vcs ? 0 : grant_vc + 1;
 
-    InputVc& in = ivc(grant->in_port, grant->in_vc);
-    OutputVc& out = ovc(op, in.out_vc);
-    Flit flit = in.fifo.front();
-    in.fifo.pop_front();
-    ++activity_.buffer_reads;
-    ++activity_.xbar_traversals;
-
-    flit.vc = in.out_vc;
+    const auto grant_idx =
+        static_cast<std::size_t>(grant_port * params_.max_vcs + grant_vc);
+    InputVc& in = inputs_[grant_idx];
+    VcMeta& gmeta = vc_meta_[grant_idx];
+    const VcId out_vc = gmeta.out_vc;
+    OutputVc& out = ovc(op, out_vc);
+    // Update the flit in its FIFO slot and copy it once, straight into the
+    // output channel slot.
+    Flit& flit = in.fifo.front();
+    flit.vc = out_vc;
     // The VC class of the link actually taken; consumed by the next router's
     // routing function for dateline bookkeeping.
-    flit.vc_class = static_cast<std::uint8_t>(
-        in.out_vc / (params_.max_vcs / params_.vc_classes));
+    flit.vc_class = static_cast<std::uint8_t>(out_vc / vcs_per_class_);
     ++flit.hops;
+    const bool tail = is_tail(flit.type);
+    ++activity_.buffer_reads;
+    ++activity_.xbar_traversals;
 
     --out.credits;
     assert(out.credits >= 0);
@@ -254,18 +344,28 @@ void Router::switch_allocate_and_traverse(Cycle cycle) {
     assert(w.out_flits && "port with traffic must be wired");
     // Extra pipeline stages delay link entry; the channel keeps FIFO order
     // because every flit gets the same extra delay.
-    w.out_flits->send(flit,
-                      cycle + static_cast<Cycle>(params_.pipeline_stages - 1));
+    w.out_flits->send_from(
+        flit, cycle + static_cast<Cycle>(params_.pipeline_stages - 1));
+    in.fifo.pop_front();
+    --gmeta.occ;
+    --buffered_total_;
     ++activity_.link_flits;
 
-    release_slot(grant->in_port, grant->in_vc, cycle);
+    release_slot(grant_port, grant_vc, cycle);
 
-    if (is_tail(flit.type)) {
+    if (tail) {
       out.busy = false;
-      in.state = InputVc::State::kIdle;
-      in.out_port = -1;
-      in.out_vc = kInvalidVc;
+      gmeta.state = VcState::kIdle;
+      --sa_active_;
+      --port_active_[static_cast<std::size_t>(grant_port)];
+      gmeta.out_port = -1;
+      gmeta.out_vc = -1;
       in.candidates.clear();
+      // Flits already queued behind the departed tail start the next
+      // packet: its head becomes routable next cycle.
+      if (gmeta.occ > 0) {
+        route_ready_.push_back(static_cast<std::int16_t>(grant_idx));
+      }
     }
   }
 }
@@ -287,6 +387,7 @@ void Router::set_active_vcs(int vcs, Cycle /*now*/) {
   // Default assumption: a homogeneous network. Network overrides the
   // per-port downstream gating right after when configs are heterogeneous.
   std::fill(out_active_vcs_.begin(), out_active_vcs_.end(), vcs);
+  refresh_admissible_cache();
 }
 
 void Router::set_active_depth(int depth, Cycle now) {
@@ -304,12 +405,6 @@ void Router::set_active_depth(int depth, Cycle now) {
       }
     }
   }
-}
-
-int Router::buffered_flits() const {
-  int total = 0;
-  for (const auto& in : inputs_) total += static_cast<int>(in.fifo.size());
-  return total;
 }
 
 int Router::max_vc_occupancy() const {

@@ -17,13 +17,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "noc/channel.h"
 #include "noc/routing.h"
 #include "noc/topology.h"
 #include "noc/types.h"
+#include "util/ring_buffer.h"
 
 namespace drlnoc::noc {
 
@@ -90,8 +90,9 @@ class Router {
   // --- observability -------------------------------------------------------
   const RouterActivity& activity() const { return activity_; }
   void reset_activity() { activity_.reset(); }
-  /// Total flits currently buffered in this router's input units.
-  int buffered_flits() const;
+  /// Total flits currently buffered in this router's input units. O(1):
+  /// maintained incrementally on every buffer write/read.
+  int buffered_flits() const { return buffered_total_; }
   /// Occupancy of the fullest single input VC (congestion feature).
   int max_vc_occupancy() const;
   bool idle() const { return buffered_flits() == 0; }
@@ -105,13 +106,23 @@ class Router {
   int input_occupancy(PortId port, VcId vc) const;
 
  private:
+  /// Per input VC pipeline state. Kept OUT of InputVc in one compact
+  /// side array: the per-cycle allocator loops scan every input VC, and
+  /// with ~100-byte InputVc records those scans were L1-miss bound; at four
+  /// bytes per VC a router's whole scan state fits in one or two cache
+  /// lines.
+  enum class VcState : std::uint8_t { kIdle, kVcAlloc, kActive };
+
+  struct VcMeta {
+    VcState state = VcState::kIdle;
+    std::int8_t occ = 0;       ///< mirror of fifo.size() (max_depth <= 127)
+    std::int8_t out_port = -1; ///< allocated output port (radix <= 127)
+    std::int8_t out_vc = -1;   ///< allocated output VC (max_vcs <= 127)
+  };
+
   struct InputVc {
-    std::deque<Flit> fifo;
-    enum class State : std::uint8_t { kIdle, kVcAlloc, kActive } state =
-        State::kIdle;
+    util::RingBuffer<Flit> fifo;  ///< occupancy bounded by max_depth
     std::vector<RouteChoice> candidates;
-    PortId out_port = -1;
-    VcId out_vc = kInvalidVc;
     int advertised = 0;  ///< capacity advertised upstream (credit protocol)
   };
 
@@ -141,6 +152,13 @@ class Router {
   /// the downstream router's active-VC configuration for `out_port`.
   std::pair<VcId, VcId> admissible_range(std::uint8_t vc_class,
                                          PortId out_port) const;
+  /// Rebuilds the cached admissible ranges (adm_begin_/adm_end_) after any
+  /// change to out_active_vcs_ — keeps the integer divides of
+  /// admissible_range() out of the per-cycle VA loop.
+  void refresh_admissible_cache();
+  int adm_index(PortId port, std::uint8_t vc_class) const {
+    return port * params_.vc_classes + static_cast<int>(vc_class);
+  }
 
   void receive_phase(Cycle cycle);
   void route_compute();
@@ -161,6 +179,36 @@ class Router {
   std::vector<int> va_rr_;       // per output VC
   std::vector<int> sa_in_rr_;    // per input port
   std::vector<int> sa_out_rr_;   // per output port
+  // Persistent allocation scratch for the per-cycle allocators. The VA
+  // requester lists are intrusive singly-linked lists keyed by input slot
+  // index (head per output VC, next per input slot), reset by a fill each
+  // cycle; SA stage 1 records at most one winning VC per input port.
+  std::vector<int> va_head_;       // per output VC: first requester, or -1
+  std::vector<int> va_next_;       // per input slot: next requester, or -1
+  std::vector<int> va_touched_;    // output VC slots with requests this cycle
+  // Event-driven pipeline worklists: the allocator stages iterate only the
+  // input VCs that can actually make progress instead of scanning every
+  // (port, VC) slot each cycle. List order never affects results — every
+  // arbitration picks the minimum cyclic distance over unique indices.
+  std::vector<std::int16_t> route_ready_;  // kIdle VCs with a waiting head
+  std::vector<std::int16_t> va_list_;      // VCs in state kVcAlloc
+  struct SaWinner {
+    std::int8_t in_port;
+    std::int8_t in_vc;
+    std::int8_t out_port;
+  };
+  std::vector<SaWinner> sa_winners_;       // SA stage-1 scratch
+  std::vector<std::int8_t> port_active_;   // per input port: VCs in kActive
+  // Incremental occupancy / pipeline-state counters: they make the common
+  // idle case O(1) — a quiet router's step() skips VA and SA entirely, and
+  // Network's per-cycle statistics need no buffer walks.
+  int buffered_total_ = 0;   // flits across all input VC FIFOs
+  int sa_active_ = 0;        // input VCs in state kActive
+  int vcs_per_class_ = 1;    // max_vcs / vc_classes, precomputed
+  std::vector<VcId> adm_begin_, adm_end_;  // per (port, class); see above
+  // Compact per-input-VC pipeline state (see VcMeta above). Indexed like
+  // inputs_: port * max_vcs + vc.
+  std::vector<VcMeta> vc_meta_;
   RouterActivity activity_;
 };
 

@@ -19,30 +19,23 @@ std::vector<std::size_t> layer_sizes(std::size_t in,
   return sizes;
 }
 
-nn::Matrix to_matrix(const State& s) {
-  nn::Matrix m(1, s.size());
+void to_matrix_into(nn::Matrix& m, const State& s) {
+  m.resize_fast(1, s.size());
   m.set_row(0, s);
-  return m;
 }
 
-nn::Matrix stack_states(const std::vector<Transition>& batch, bool next) {
+void stack_states_into(nn::Matrix& m, const std::vector<Transition>& batch,
+                       bool next) {
   assert(!batch.empty());
   const std::size_t cols =
       next ? batch.front().next_state.size() : batch.front().state.size();
-  nn::Matrix m(batch.size(), cols);
+  m.resize_fast(batch.size(), cols);
   for (std::size_t r = 0; r < batch.size(); ++r) {
     m.set_row(r, next ? batch[r].next_state : batch[r].state);
   }
-  return m;
 }
 
-std::size_t argmax_row(const nn::Matrix& m, std::size_t row) {
-  std::size_t best = 0;
-  for (std::size_t c = 1; c < m.cols(); ++c) {
-    if (m.at(row, c) > m.at(row, best)) best = c;
-  }
-  return best;
-}
+using nn::argmax_row;
 }  // namespace
 
 DqnAgent::DqnAgent(std::size_t state_size, int num_actions, DqnParams params)
@@ -80,18 +73,23 @@ int DqnAgent::act(const State& state) {
 }
 
 int DqnAgent::act_greedy(const State& state) {
-  const nn::Matrix q = online_.forward(to_matrix(state));
+  to_matrix_into(ws_state_, state);
+  const nn::Matrix& q = online_.infer_ws(ws_state_);
   return static_cast<int>(argmax_row(q, 0));
 }
 
 std::vector<double> DqnAgent::q_values(const State& state) {
-  return online_.forward(to_matrix(state)).row(0);
+  to_matrix_into(ws_state_, state);
+  return online_.infer_ws(ws_state_).row(0);
 }
 
-void DqnAgent::store(Transition t) {
-  if (t.discount == 0.0) t.discount = params_.gamma;
-  if (params_.prioritized) prioritized_replay_->push(std::move(t));
-  else uniform_replay_->push(std::move(t));
+void DqnAgent::store(const Transition& t) {
+  // Staged through a member copy (vector capacities are reused) so the
+  // discount default can be applied without mutating the caller's object.
+  ws_store_ = t;
+  if (ws_store_.discount == 0.0) ws_store_.discount = params_.gamma;
+  if (params_.prioritized) prioritized_replay_->push(ws_store_);
+  else uniform_replay_->push(ws_store_);
 }
 
 void DqnAgent::push_n_step(const Transition& t) {
@@ -99,7 +97,8 @@ void DqnAgent::push_n_step(const Transition& t) {
   auto emit_front = [&] {
     // Aggregate from the window head: R = sum_i gamma^i r_i, bootstrapping
     // from the last reached state with discount gamma^k.
-    Transition agg = n_step_window_.front();
+    Transition& agg = ws_agg_;
+    agg = n_step_window_.front();
     double discount = params_.gamma;
     double reward = agg.reward;
     double g = params_.gamma;
@@ -114,7 +113,7 @@ void DqnAgent::push_n_step(const Transition& t) {
     }
     agg.reward = reward;
     agg.discount = discount;
-    store(std::move(agg));
+    store(agg);
     n_step_window_.pop_front();
   };
   if (t.done) {
@@ -155,39 +154,45 @@ double DqnAgent::td_target(const Transition& t,
 }
 
 double DqnAgent::learn() {
-  SampledBatch batch =
-      params_.prioritized
-          ? prioritized_replay_->sample(params_.batch_size, rng_)
-          : uniform_replay_->sample(params_.batch_size, rng_);
-
-  const nn::Matrix next_states = stack_states(batch.transitions, true);
-  const nn::Matrix q_next_target = target_.forward(next_states);
-  // For Double-DQN the online net's next-state values pick the action.
-  // (This forward pass must come before the training forward pass so layer
-  // caches hold the training batch when backward() runs.)
-  nn::Matrix q_next_online;
-  if (params_.double_dqn) q_next_online = online_.forward(next_states);
-
-  std::vector<int> actions(batch.transitions.size());
-  std::vector<double> targets(batch.transitions.size());
-  for (std::size_t i = 0; i < batch.transitions.size(); ++i) {
-    actions[i] = batch.transitions[i].action;
-    targets[i] = td_target(batch.transitions[i], q_next_online, q_next_target,
-                           i);
+  SampledBatch& batch = ws_batch_;
+  if (params_.prioritized) {
+    prioritized_replay_->sample_into(batch, params_.batch_size, rng_);
+  } else {
+    uniform_replay_->sample_into(batch, params_.batch_size, rng_);
   }
 
-  const nn::Matrix states = stack_states(batch.transitions, false);
-  const nn::Matrix q = online_.forward(states);
-  const nn::MaskedLossResult loss =
-      nn::masked_huber_loss(q, actions, targets, batch.weights);
+  stack_states_into(ws_next_states_, batch.transitions, true);
+  // Next-state values are inference-only: infer_ws skips the backward
+  // caches, so the training forward below is free to own them. The target
+  // net's workspace is untouched until its next forward, so its result can
+  // be used by reference; the online net's next-state values must be copied
+  // out before the training forward overwrites the shared workspace.
+  const nn::Matrix& q_next_target = target_.infer_ws(ws_next_states_);
+  // For Double-DQN the online net's next-state values pick the action.
+  if (params_.double_dqn) {
+    ws_q_next_online_ = online_.infer_ws(ws_next_states_);
+  }
+
+  ws_actions_.resize(batch.transitions.size());
+  ws_targets_.resize(batch.transitions.size());
+  for (std::size_t i = 0; i < batch.transitions.size(); ++i) {
+    ws_actions_[i] = batch.transitions[i].action;
+    ws_targets_[i] = td_target(batch.transitions[i], ws_q_next_online_,
+                               q_next_target, i);
+  }
+
+  stack_states_into(ws_states_, batch.transitions, false);
+  const nn::Matrix& q = online_.forward_ws(ws_states_);
+  nn::masked_huber_loss_into(ws_loss_, q, ws_actions_, ws_targets_,
+                             batch.weights);
 
   online_.zero_grads();
-  online_.backward(loss.grad);
+  online_.backward_params_ws(ws_loss_.grad);
   online_.clip_grad_norm(params_.grad_clip);
   optimizer_->step(online_.params(), online_.grads());
 
   if (params_.prioritized) {
-    prioritized_replay_->update_priorities(batch.indices, loss.td_abs);
+    prioritized_replay_->update_priorities(batch.indices, ws_loss_.td_abs);
   }
 
   ++learn_steps_;
@@ -196,7 +201,7 @@ double DqnAgent::learn() {
   } else if (learn_steps_ % params_.target_sync_every == 0) {
     target_.copy_weights_from(online_);
   }
-  return loss.loss;
+  return ws_loss_.loss;
 }
 
 void DqnAgent::save(std::ostream& os) const { online_.save(os); }

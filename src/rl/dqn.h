@@ -4,7 +4,6 @@
 // optional Double-DQN target (van Hasselt et al. 2016).
 #pragma once
 
-#include <deque>
 #include <iosfwd>
 #include <memory>
 #include <optional>
@@ -12,10 +11,12 @@
 #include <vector>
 
 #include "nn/layers.h"
+#include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "rl/env.h"
 #include "rl/replay.h"
 #include "rl/schedule.h"
+#include "util/ring_buffer.h"
 #include "util/rng.h"
 
 namespace drlnoc::rl {
@@ -71,7 +72,7 @@ class DqnAgent {
  private:
   /// Folds the n-step window into aggregated transitions pushed to replay.
   void push_n_step(const Transition& t);
-  void store(Transition t);
+  void store(const Transition& t);
   double learn();
   /// Regression target for one transition, per DQN / Double-DQN rule.
   double td_target(const Transition& t, const nn::Matrix& q_next_online,
@@ -87,9 +88,22 @@ class DqnAgent {
   LinearSchedule epsilon_;
   std::unique_ptr<ReplayBuffer> uniform_replay_;
   std::unique_ptr<PrioritizedReplayBuffer> prioritized_replay_;
-  std::deque<Transition> n_step_window_;
+  util::RingBuffer<Transition> n_step_window_;
   std::uint64_t env_steps_ = 0;
   std::uint64_t learn_steps_ = 0;
+
+  // Persistent learn-step workspace: act(), q_values() and learn() reuse
+  // these buffers so the steady-state hot path performs no heap allocation.
+  nn::Matrix ws_state_;          ///< 1×state input for act / q_values
+  nn::Matrix ws_states_;         ///< stacked batch states
+  nn::Matrix ws_next_states_;    ///< stacked batch next-states
+  nn::Matrix ws_q_next_online_;  ///< copied out of the online net workspace
+  nn::MaskedLossResult ws_loss_;
+  SampledBatch ws_batch_;
+  Transition ws_store_;          ///< discount-defaulted copy staged for push
+  Transition ws_agg_;            ///< n-step aggregation scratch
+  std::vector<int> ws_actions_;
+  std::vector<double> ws_targets_;
 };
 
 }  // namespace drlnoc::rl

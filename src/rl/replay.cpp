@@ -14,27 +14,32 @@ ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
   data_.reserve(capacity);
 }
 
-void ReplayBuffer::push(Transition t) {
+void ReplayBuffer::push(const Transition& t) {
   if (data_.size() < capacity_) {
-    data_.push_back(std::move(t));
+    data_.push_back(t);
   } else {
-    data_[next_] = std::move(t);
+    data_[next_] = t;  // copy-assign reuses the slot's vector capacity
     next_ = (next_ + 1) % capacity_;
   }
 }
 
 SampledBatch ReplayBuffer::sample(std::size_t batch, util::Rng& rng) const {
-  assert(!data_.empty());
   SampledBatch out;
-  out.transitions.reserve(batch);
-  out.indices.reserve(batch);
+  sample_into(out, batch, rng);
+  return out;
+}
+
+void ReplayBuffer::sample_into(SampledBatch& out, std::size_t batch,
+                               util::Rng& rng) const {
+  assert(!data_.empty());
+  out.transitions.resize(batch);
+  out.indices.resize(batch);
   out.weights.assign(batch, 1.0);
   for (std::size_t i = 0; i < batch; ++i) {
     const std::size_t idx = static_cast<std::size_t>(rng.below(data_.size()));
-    out.indices.push_back(idx);
-    out.transitions.push_back(data_[idx]);
+    out.indices[i] = idx;
+    out.transitions[i] = data_[idx];
   }
-  return out;
 }
 
 SumTree::SumTree(std::size_t capacity) {
@@ -96,8 +101,8 @@ PrioritizedReplayBuffer::PrioritizedReplayBuffer(std::size_t capacity,
   if (capacity == 0) throw std::invalid_argument("replay capacity must be > 0");
 }
 
-void PrioritizedReplayBuffer::push(Transition t) {
-  data_[next_] = std::move(t);
+void PrioritizedReplayBuffer::push(const Transition& t) {
+  data_[next_] = t;  // copy-assign reuses the slot's vector capacity
   // New experience gets the maximum priority seen so far, guaranteeing it is
   // replayed at least once with high probability.
   tree_.update(next_, max_seen_priority_);
@@ -107,11 +112,17 @@ void PrioritizedReplayBuffer::push(Transition t) {
 
 SampledBatch PrioritizedReplayBuffer::sample(std::size_t batch,
                                              util::Rng& rng) const {
-  assert(size_ > 0);
   SampledBatch out;
-  out.transitions.reserve(batch);
-  out.indices.reserve(batch);
-  out.weights.reserve(batch);
+  sample_into(out, batch, rng);
+  return out;
+}
+
+void PrioritizedReplayBuffer::sample_into(SampledBatch& out, std::size_t batch,
+                                          util::Rng& rng) const {
+  assert(size_ > 0);
+  out.transitions.resize(batch);
+  out.indices.resize(batch);
+  out.weights.resize(batch);
   const double total = tree_.total();
   assert(total > 0.0);
   // Stratified sampling across equal mass segments.
@@ -125,16 +136,15 @@ SampledBatch PrioritizedReplayBuffer::sample(std::size_t batch,
     if (leaf >= size_) leaf = size_ - 1;  // zero-priority padding guard
     const double p = tree_.priority(leaf) / total;
     const double w = std::pow(n * std::max(p, 1e-12), -beta_);
-    out.indices.push_back(leaf);
-    out.transitions.push_back(data_[leaf]);
-    out.weights.push_back(w);
+    out.indices[i] = leaf;
+    out.transitions[i] = data_[leaf];
+    out.weights[i] = w;
     max_weight = std::max(max_weight, w);
   }
   // Normalize weights to at most 1 for stability.
   if (max_weight > 0.0) {
     for (double& w : out.weights) w /= max_weight;
   }
-  return out;
 }
 
 void PrioritizedReplayBuffer::update_priorities(

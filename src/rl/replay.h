@@ -21,8 +21,13 @@ class ReplayBuffer {
  public:
   explicit ReplayBuffer(std::size_t capacity);
 
-  void push(Transition t);
+  /// Copy-assigns into the FIFO slot, so a full buffer reuses each slot's
+  /// state-vector capacity (no steady-state allocation).
+  void push(const Transition& t);
   SampledBatch sample(std::size_t batch, util::Rng& rng) const;
+  /// Allocation-free sampling into a persistent batch workspace; identical
+  /// RNG consumption and results as sample().
+  void sample_into(SampledBatch& out, std::size_t batch, util::Rng& rng) const;
   std::size_t size() const { return data_.size(); }
   std::size_t capacity() const { return capacity_; }
   const Transition& at(std::size_t i) const { return data_[i]; }
@@ -60,8 +65,11 @@ class PrioritizedReplayBuffer {
   PrioritizedReplayBuffer(std::size_t capacity, double alpha = 0.6,
                           double beta = 0.4, double eps = 1e-3);
 
-  void push(Transition t);
+  void push(const Transition& t);
   SampledBatch sample(std::size_t batch, util::Rng& rng) const;
+  /// Allocation-free sampling into a persistent batch workspace; identical
+  /// RNG consumption and results as sample().
+  void sample_into(SampledBatch& out, std::size_t batch, util::Rng& rng) const;
   void update_priorities(const std::vector<std::size_t>& indices,
                          const std::vector<double>& td_abs);
   void set_beta(double beta) { beta_ = beta; }
