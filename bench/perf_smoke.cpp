@@ -17,10 +17,10 @@
 #include <functional>
 #include <iostream>
 #include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "nn/layers.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
@@ -141,80 +141,6 @@ double bench_dqn_learn(std::uint64_t iters, int repeats) {
   });
 }
 
-/// Extracts the flat numeric "metrics" object from a previous perf_smoke /
-/// BENCH_*.json file. Tolerant hand parser: finds `"metrics"`, then reads
-/// `"key": number` pairs until the object closes.
-std::map<std::string, double> read_baseline_metrics(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::cerr << "perf_smoke: cannot read baseline file " << path << "\n";
-    return {};
-  }
-  std::stringstream ss;
-  ss << in.rdbuf();
-  const std::string text = ss.str();
-  std::map<std::string, double> metrics;
-  std::size_t pos = text.find("\"metrics\"");
-  if (pos == std::string::npos) return metrics;
-  pos = text.find('{', pos);
-  if (pos == std::string::npos) return metrics;
-  const std::size_t end = text.find('}', pos);
-  std::size_t cursor = pos;
-  while (cursor < end) {
-    const std::size_t k0 = text.find('"', cursor);
-    if (k0 == std::string::npos || k0 > end) break;
-    const std::size_t k1 = text.find('"', k0 + 1);
-    const std::size_t colon = text.find(':', k1);
-    if (k1 == std::string::npos || colon == std::string::npos || colon > end)
-      break;
-    const std::string key = text.substr(k0 + 1, k1 - k0 - 1);
-    try {
-      metrics[key] = std::stod(text.substr(colon + 1));
-    } catch (const std::exception&) {
-      // Tolerant parser: skip malformed values instead of crashing.
-    }
-    cursor = text.find(',', colon);
-    if (cursor == std::string::npos || cursor > end) break;
-  }
-  return metrics;
-}
-
-void write_json(std::ostream& os,
-                const std::vector<std::pair<std::string, double>>& metrics,
-                const std::map<std::string, double>& baseline) {
-  os.precision(6);
-  os << "{\n  \"bench\": \"perf_smoke\",\n  \"units\": \"per_second\",\n";
-  os << "  \"metrics\": {\n";
-  for (std::size_t i = 0; i < metrics.size(); ++i) {
-    os << "    \"" << metrics[i].first << "\": " << metrics[i].second
-       << (i + 1 == metrics.size() ? "\n" : ",\n");
-  }
-  os << "  }";
-  if (!baseline.empty()) {
-    os << ",\n  \"baseline\": {\n";
-    std::size_t i = 0;
-    for (const auto& [k, v] : baseline) {
-      os << "    \"" << k << "\": " << v
-         << (++i == baseline.size() ? "\n" : ",\n");
-    }
-    os << "  },\n  \"speedup\": {\n";
-    std::vector<std::string> lines;
-    for (const auto& [key, rate] : metrics) {
-      const auto it = baseline.find(key);
-      if (it == baseline.end() || it->second <= 0.0) continue;
-      std::ostringstream line;
-      line.precision(3);
-      line << "    \"" << key << "\": " << rate / it->second;
-      lines.push_back(line.str());
-    }
-    for (std::size_t j = 0; j < lines.size(); ++j) {
-      os << lines[j] << (j + 1 == lines.size() ? "\n" : ",\n");
-    }
-    os << "  }";
-  }
-  os << "\n}\n";
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -246,13 +172,14 @@ int main(int argc, char** argv) {
 
   std::map<std::string, double> baseline;
   if (cfg.has("baseline")) {
-    baseline = read_baseline_metrics(cfg.get("baseline", std::string()));
+    baseline = drlnoc::bench::read_baseline_metrics(
+        cfg.get("baseline", std::string()));
   }
 
-  write_json(std::cout, metrics, baseline);
+  drlnoc::bench::write_metrics_json(std::cout, "perf_smoke", metrics, baseline);
   if (cfg.has("out")) {
     std::ofstream out(cfg.get("out", std::string()));
-    write_json(out, metrics, baseline);
+    drlnoc::bench::write_metrics_json(out, "perf_smoke", metrics, baseline);
   }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "noc/simulator.h"
+#include "trace/trace_workload.h"
 
 namespace drlnoc::core {
 
@@ -20,7 +21,15 @@ NocConfigEnv::NocConfigEnv(NocEnvParams params)
           "action space exceeds physical resources: " + noc::to_string(c));
     }
   }
-  if (params_.phases.empty()) {
+  if (params_.trace) {
+    params_.trace->validate();
+    if (params_.trace->nodes > params_.net.width * params_.net.height) {
+      throw std::invalid_argument(
+          "trace addresses " + std::to_string(params_.trace->nodes) +
+          " nodes but the network has only " +
+          std::to_string(params_.net.width * params_.net.height));
+    }
+  } else if (params_.phases.empty()) {
     const auto topo = noc::make_topology(params_.net.topology,
                                          params_.net.width,
                                          params_.net.height);
@@ -40,6 +49,13 @@ double NocConfigEnv::calibrate_power_ref() {
   np.initial_config = params_.actions.decode(params_.actions.max_action());
   noc::Network net(np, params_.power);
   double max_rate = 0.0;
+  if (params_.trace) {
+    // Rough equivalent offered load of the trace's root packets, after the
+    // rate-scale knob; a coarse normalizer is fine here.
+    max_rate = std::clamp(
+        params_.trace->summary().offered_rate * params_.trace_rate_scale,
+        0.01, 0.5);
+  }
   for (const noc::Phase& ph : params_.phases)
     max_rate = std::max(max_rate, ph.rate);
   noc::SteadyWorkload workload =
@@ -59,14 +75,24 @@ void NocConfigEnv::build_network() {
     np.seed = params_.net.seed + 0x9e3779b9ULL * static_cast<std::uint64_t>(episode_);
   }
   workload_.reset();
+  phased_ = nullptr;
   net_ = std::make_unique<noc::Network>(np, params_.power);
-  workload_ = std::make_unique<noc::PhasedWorkload>(net_->topology(),
-                                                    params_.phases);
+  if (params_.trace) {
+    trace::TraceWorkloadParams tw;
+    tw.rate_scale = params_.trace_rate_scale;
+    tw.loop = true;  // RL episodes of any length stay well-defined
+    workload_ = std::make_unique<trace::TraceWorkload>(params_.trace, tw);
+    return;
+  }
+  auto phased = std::make_unique<noc::PhasedWorkload>(net_->topology(),
+                                                      params_.phases);
   if (!eval_mode_ && params_.random_phase_offset) {
     util::Rng offset_rng(np.seed ^ 0xabcdef123456ULL);
-    workload_->set_start_offset(offset_rng.uniform() *
-                                workload_->total_duration());
+    phased->set_start_offset(offset_rng.uniform() *
+                             phased->total_duration());
   }
+  phased_ = phased.get();
+  workload_ = std::move(phased);
 }
 
 rl::State NocConfigEnv::reset() {

@@ -13,6 +13,7 @@
 #include "noc/network.h"
 #include "noc/workload.h"
 #include "rl/env.h"
+#include "trace/trace.h"
 
 namespace drlnoc::core {
 
@@ -21,6 +22,12 @@ struct NocEnvParams {
   noc::PowerParams power{};
   ActionSpace actions = ActionSpace::standard();
   std::vector<noc::Phase> phases{};  ///< empty => PhasedWorkload::standard
+  /// When set, episodes replay this application trace (dependency-aware,
+  /// looping — see trace/trace_workload.h) instead of the phased workload.
+  /// Trace replay ignores the traffic seed and phase offset: the arrival
+  /// process is the trace itself, modulated only by simulated congestion.
+  std::shared_ptr<const trace::Trace> trace{};
+  double trace_rate_scale = 1.0;  ///< load knob for trace episodes
   std::uint64_t epoch_cycles = 512;  ///< router cycles per epoch
   int epochs_per_episode = 48;
   RewardParams reward{};
@@ -54,6 +61,10 @@ class NocConfigEnv : public rl::Environment {
   const NocEnvParams& params() const { return params_; }
   /// Stats of the epoch the last step() simulated.
   const noc::EpochStats& last_stats() const { return last_stats_; }
+  /// The active episode's injector; null before the first reset().
+  const noc::TrafficInjector* workload() const { return workload_.get(); }
+  /// Non-null when the episode runs a PhasedWorkload (i.e. no trace set).
+  const noc::PhasedWorkload* phased_workload() const { return phased_; }
   int episode() const { return episode_; }
   /// The auto-calibrated power normalizer (max-config power at the
   /// workload's busiest phase), in mW.
@@ -67,7 +78,8 @@ class NocConfigEnv : public rl::Environment {
   FeatureExtractor features_;
   RewardFunction reward_;
   std::unique_ptr<noc::Network> net_;
-  std::unique_ptr<noc::PhasedWorkload> workload_;
+  std::unique_ptr<noc::TrafficInjector> workload_;
+  noc::PhasedWorkload* phased_ = nullptr;  ///< non-null for phased episodes
   noc::EpochStats last_stats_{};
   int episode_ = 0;
   int epoch_in_episode_ = 0;

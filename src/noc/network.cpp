@@ -205,14 +205,16 @@ void Network::inject_due_traffic(TrafficInjector* injector) {
   while (static_cast<double>(next_core_tick_) < end_time) {
     const auto t = static_cast<double>(next_core_tick_);
     if (injector != nullptr) {
-      const int length = injector->packet_length(t);
       for (int node = 0; node < n; ++node) {
         const NodeId dst =
             injector->generate(node, t, node_rngs_[static_cast<std::size_t>(node)]);
         if (dst == kInvalidNode) continue;
         assert(dst >= 0 && dst < n);
+        const int length = injector->packet_length_for(node, t);
+        const std::uint64_t packet_id = next_packet_id_++;
         nics_[static_cast<std::size_t>(node)]->offer_packet(
-            dst, t, measuring_, next_packet_id_++, length);
+            dst, t, measuring_, packet_id, length);
+        injector->on_packet_injected(node, packet_id, t);
         ++epoch_offered_;
         ++total_offered_;
       }
@@ -248,6 +250,7 @@ void Network::step(TrafficInjector* injector) {
         epoch_latency_hist_.add(latency);
         epoch_hops_.add(static_cast<double>(rec.hops));
       }
+      if (injector != nullptr) injector->on_packet_delivered(rec);
       pending_records_.push_back(rec);
     }
     recs.clear();

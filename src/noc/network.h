@@ -60,6 +60,21 @@ class TrafficInjector {
   /// Length in flits of the packet being generated at `core_time`;
   /// 0 means "use the network's default flits_per_packet".
   virtual int packet_length(double /*core_time*/) const { return 0; }
+  /// Per-packet variant, consulted right after generate() accepts for
+  /// `src`. Trace replay overrides this (records carry individual lengths);
+  /// the default defers to the per-tick length above.
+  virtual int packet_length_for(NodeId /*src*/, double core_time) const {
+    return packet_length(core_time);
+  }
+  /// Called right after the generated packet is queued at the source NIC,
+  /// with the network-assigned packet id. Lets dependency-aware workloads
+  /// map their records onto live packets (see trace/trace_workload.h).
+  virtual void on_packet_injected(NodeId /*src*/, std::uint64_t /*packet_id*/,
+                                  double /*core_time*/) {}
+  /// Called once per packet when its tail flit ejects at the destination,
+  /// in ejection order. Only fires while this injector is driving the step
+  /// (drain-only stepping with a null injector notifies nobody).
+  virtual void on_packet_delivered(const PacketRecord& /*rec*/) {}
   virtual std::string name() const = 0;
 };
 

@@ -1,7 +1,10 @@
 // Workloads: traffic injectors combining a spatial pattern, a temporal
 // injection process and a rate. SteadyWorkload drives the classic
 // load-latency methodology; PhasedWorkload emulates the phase behaviour of
-// real applications (our documented substitution for full-system traces).
+// real applications with synthetic patterns. For actual application-level
+// traffic — recorded runs, DNN layer pipelines, MPI-style collectives,
+// dependency-aware task-graph replay — see the trace subsystem
+// (trace/trace_workload.h, trace/recorder.h, trace/generators.h).
 #pragma once
 
 #include <memory>

@@ -1,0 +1,162 @@
+#include "trace/generators.h"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace drlnoc::trace {
+
+namespace {
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+}  // namespace
+
+Trace generate_dnn_pipeline(const DnnPipelineParams& p) {
+  require(p.nodes >= 2, "dnn_pipeline: nodes must be >= 2");
+  require(p.layers >= 2, "dnn_pipeline: layers must be >= 2");
+  require(p.tiles_per_layer >= 1, "dnn_pipeline: tiles_per_layer must be >= 1");
+  require(p.batches >= 1, "dnn_pipeline: batches must be >= 1");
+  require(p.batch_interval >= 0.0, "dnn_pipeline: batch_interval must be >= 0");
+  require(p.compute_delay >= 0.0, "dnn_pipeline: compute_delay must be >= 0");
+  require(p.activation_flits >= 1,
+          "dnn_pipeline: activation_flits must be >= 1");
+
+  Trace trace;
+  trace.nodes = p.nodes;
+  trace.default_length = p.activation_flits;
+
+  const auto node_of = [&](int layer, int tile) -> noc::NodeId {
+    return (layer * p.tiles_per_layer + tile) % p.nodes;
+  };
+
+  std::uint64_t next_id = 1;
+  // Packets delivered into each tile of the *receiving* layer for the batch
+  // currently being generated; boundary l feeds the inputs of boundary l+1.
+  const auto tiles = static_cast<std::size_t>(p.tiles_per_layer);
+  for (int b = 0; b < p.batches; ++b) {
+    std::vector<std::vector<std::uint64_t>> inputs(tiles);
+    for (int l = 0; l + 1 < p.layers; ++l) {
+      std::vector<std::vector<std::uint64_t>> next_inputs(tiles);
+      for (int u = 0; u < p.tiles_per_layer; ++u) {
+        const noc::NodeId src = node_of(l, u);
+        for (int v = 0; v < p.tiles_per_layer; ++v) {
+          const noc::NodeId dst = node_of(l + 1, v);
+          if (src == dst) continue;  // wrapped placement: self-sends elided
+          TraceRecord rec;
+          rec.id = next_id++;
+          rec.src = src;
+          rec.dst = dst;
+          rec.length = p.activation_flits;
+          if (l == 0 || inputs[static_cast<std::size_t>(u)].empty()) {
+            // Entry layer (or a tile starved by self-send elision): release
+            // on the batch clock.
+            rec.time = static_cast<double>(b) * p.batch_interval +
+                       static_cast<double>(l) * p.compute_delay;
+          } else {
+            rec.deps = inputs[static_cast<std::size_t>(u)];
+            rec.time = p.compute_delay;
+          }
+          next_inputs[static_cast<std::size_t>(v)].push_back(rec.id);
+          trace.records.push_back(std::move(rec));
+        }
+      }
+      inputs = std::move(next_inputs);
+    }
+  }
+  trace.validate();
+  return trace;
+}
+
+Trace generate_allreduce_ring(const AllReduceRingParams& p) {
+  require(p.nodes >= 2, "allreduce_ring: nodes must be >= 2");
+  require(p.rounds >= 1, "allreduce_ring: rounds must be >= 1");
+  require(p.compute_delay >= 0.0, "allreduce_ring: compute_delay must be >= 0");
+  require(p.chunk_flits >= 1, "allreduce_ring: chunk_flits must be >= 1");
+  require(p.start_time >= 0.0, "allreduce_ring: start_time must be >= 0");
+
+  Trace trace;
+  trace.nodes = p.nodes;
+  trace.default_length = p.chunk_flits;
+
+  const int n = p.nodes;
+  const int steps = 2 * (n - 1);  // reduce-scatter + all-gather
+  std::uint64_t next_id = 1;
+  std::vector<std::uint64_t> prev_step(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint64_t> prev_round_last(static_cast<std::size_t>(n), 0);
+  for (int r = 0; r < p.rounds; ++r) {
+    for (int s = 0; s < steps; ++s) {
+      std::vector<std::uint64_t> this_step(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        const auto left = static_cast<std::size_t>((i + n - 1) % n);
+        TraceRecord rec;
+        rec.id = next_id++;
+        rec.src = i;
+        rec.dst = (i + 1) % n;
+        rec.length = p.chunk_flits;
+        if (s > 0) {
+          // Forward once the chunk from the left neighbour has been reduced.
+          rec.deps = {prev_step[left]};
+          rec.time = p.compute_delay;
+        } else if (r > 0) {
+          // A new all-reduce starts at node i when its previous round ends.
+          rec.deps = {prev_round_last[left]};
+          rec.time = p.compute_delay;
+        } else {
+          rec.time = p.start_time;
+        }
+        this_step[static_cast<std::size_t>(i)] = rec.id;
+        trace.records.push_back(std::move(rec));
+      }
+      prev_step = std::move(this_step);
+    }
+    prev_round_last = prev_step;
+  }
+  trace.validate();
+  return trace;
+}
+
+Trace generate_alltoall(const AllToAllParams& p) {
+  require(p.nodes >= 2, "alltoall: nodes must be >= 2");
+  require(p.rounds >= 1, "alltoall: rounds must be >= 1");
+  require(p.compute_delay >= 0.0, "alltoall: compute_delay must be >= 0");
+  require(p.flits >= 1, "alltoall: flits must be >= 1");
+  require(p.start_time >= 0.0, "alltoall: start_time must be >= 0");
+
+  Trace trace;
+  trace.nodes = p.nodes;
+  trace.default_length = p.flits;
+
+  const int n = p.nodes;
+  std::uint64_t next_id = 1;
+  // received[i] = the previous round's packets addressed to node i.
+  std::vector<std::vector<std::uint64_t>> received(
+      static_cast<std::size_t>(n));
+  for (int r = 0; r < p.rounds; ++r) {
+    std::vector<std::vector<std::uint64_t>> next_received(
+        static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        TraceRecord rec;
+        rec.id = next_id++;
+        rec.src = i;
+        rec.dst = j;
+        rec.length = p.flits;
+        if (r == 0) {
+          rec.time = p.start_time;
+        } else {
+          rec.deps = received[static_cast<std::size_t>(i)];
+          rec.time = p.compute_delay;
+        }
+        next_received[static_cast<std::size_t>(j)].push_back(rec.id);
+        trace.records.push_back(std::move(rec));
+      }
+    }
+    received = std::move(next_received);
+  }
+  trace.validate();
+  return trace;
+}
+
+}  // namespace drlnoc::trace

@@ -1,0 +1,61 @@
+// Trace generators: synthesize application-level task-graph traffic for
+// scenarios the synthetic BookSim patterns cannot express.
+//
+// - DNN layer pipeline: layers mapped round-robin onto tiles; every
+//   activation packet from layer l to layer l+1 depends on all of the
+//   sending tile's inputs for that batch plus a compute delay, so multiple
+//   in-flight batches pipeline through the fabric (SET-ISCA2023-style).
+// - MPI-style collectives: ring all-reduce (2(N-1) dependency-chained
+//   steps) and all-to-all rounds (per-node barrier between rounds).
+//
+// All generators produce validated DAG traces with sequential ids, roots
+// first in dependency order, deterministic for fixed parameters.
+#pragma once
+
+#include "trace/trace.h"
+
+namespace drlnoc::trace {
+
+struct DnnPipelineParams {
+  int nodes = 16;           ///< fabric endpoints available for placement
+  int layers = 4;           ///< pipeline stages (>= 2)
+  int tiles_per_layer = 4;  ///< nodes per stage, placed round-robin
+  int batches = 4;          ///< inputs streamed through the pipeline
+  double batch_interval = 64.0;  ///< core cycles between input releases
+  double compute_delay = 32.0;   ///< per-task delay after inputs arrive
+  int activation_flits = 8;      ///< packet length for activations
+};
+
+/// Layer-l tile u sends one activation packet to every layer-(l+1) tile v
+/// (self-sends, possible under wrapped placement, are elided — on-chip
+/// self-traffic is free). Layer-0 packets for batch b release at
+/// b * batch_interval; deeper packets are dependency-gated.
+Trace generate_dnn_pipeline(const DnnPipelineParams& p);
+
+struct AllReduceRingParams {
+  int nodes = 16;           ///< ring participants (>= 2)
+  int rounds = 2;           ///< back-to-back all-reduce operations
+  double compute_delay = 16.0;  ///< reduce-op delay per received chunk
+  int chunk_flits = 8;          ///< packet length per chunk transfer
+  double start_time = 0.0;      ///< release time of the first round's sends
+};
+
+/// Classic ring all-reduce: 2(N-1) steps; in step s node i forwards its
+/// chunk to (i+1) mod N, gated on the chunk it received in step s-1. Round
+/// r > 0 starts at each node once its final round-(r-1) chunk arrives.
+Trace generate_allreduce_ring(const AllReduceRingParams& p);
+
+struct AllToAllParams {
+  int nodes = 16;      ///< participants (>= 2)
+  int rounds = 3;      ///< exchange rounds, barrier-separated per node
+  double compute_delay = 8.0;  ///< per-node delay after a round's inputs
+  int flits = 4;               ///< packet length per exchange
+  double start_time = 0.0;     ///< release time of round 0
+};
+
+/// Every node sends to every other node each round; a node's round-r sends
+/// are gated on receiving all of its round-(r-1) packets (a per-node
+/// barrier), so stragglers under congestion stall their sources.
+Trace generate_alltoall(const AllToAllParams& p);
+
+}  // namespace drlnoc::trace

@@ -1,0 +1,81 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+namespace drlnoc::trace {
+
+void Trace::validate() const {
+  if (nodes < 2) {
+    throw std::invalid_argument("trace: needs >= 2 nodes, got " +
+                                std::to_string(nodes));
+  }
+  if (default_length < 1 || default_length > 0xffff) {
+    throw std::invalid_argument("trace: default_length out of range");
+  }
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(records.size());
+  for (const TraceRecord& r : records) {
+    const std::string where = "trace record " + std::to_string(r.id) + ": ";
+    if (r.id == 0) throw std::invalid_argument("trace: record id 0 reserved");
+    if (r.src < 0 || r.src >= nodes || r.dst < 0 || r.dst >= nodes) {
+      throw std::invalid_argument(where + "endpoint outside [0, nodes)");
+    }
+    if (r.src == r.dst) {
+      throw std::invalid_argument(where + "self-send (src == dst)");
+    }
+    if (!std::isfinite(r.time) || r.time < 0.0) {
+      throw std::invalid_argument(where + "time must be finite and >= 0");
+    }
+    if (r.length < 0 || r.length > 0xffff) {
+      throw std::invalid_argument(where + "length outside [0, 65535] flits");
+    }
+    std::unordered_set<std::uint64_t> local;
+    for (std::uint64_t dep : r.deps) {
+      if (dep == r.id) throw std::invalid_argument(where + "depends on itself");
+      // "Declared earlier" makes the graph acyclic by construction.
+      if (seen.count(dep) == 0) {
+        throw std::invalid_argument(where + "dependency " +
+                                    std::to_string(dep) +
+                                    " not declared earlier in the trace");
+      }
+      if (!local.insert(dep).second) {
+        throw std::invalid_argument(where + "duplicate dependency " +
+                                    std::to_string(dep));
+      }
+    }
+    if (!seen.insert(r.id).second) {
+      throw std::invalid_argument("trace: duplicate record id " +
+                                  std::to_string(r.id));
+    }
+  }
+}
+
+bool Trace::has_dependencies() const {
+  return std::any_of(records.begin(), records.end(),
+                     [](const TraceRecord& r) { return !r.deps.empty(); });
+}
+
+TraceSummary Trace::summary() const {
+  TraceSummary s;
+  s.records = records.size();
+  for (const TraceRecord& r : records) {
+    if (r.deps.empty()) {
+      ++s.roots;
+      s.span = std::max(s.span, r.time);
+    }
+    s.dep_edges += r.deps.size();
+    s.total_flits +=
+        static_cast<std::uint64_t>(r.length > 0 ? r.length : default_length);
+  }
+  if (nodes > 0 && s.span > 0.0) {
+    s.offered_rate = static_cast<double>(s.roots) /
+                     (static_cast<double>(nodes) * s.span);
+  }
+  return s;
+}
+
+}  // namespace drlnoc::trace

@@ -1,0 +1,310 @@
+#include "trace/trace_io.h"
+
+#include <bit>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace drlnoc::trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'R', 'L', 'T'};
+constexpr std::size_t kHeaderBytes = 32;
+constexpr std::size_t kRecordBytes = 32;
+
+// --- little-endian packing (portable, independent of host byte order) ------
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+class ByteCursor {
+ public:
+  ByteCursor(const std::string& data, std::size_t offset)
+      : data_(data), pos_(offset) {}
+
+  std::uint16_t u16() { return static_cast<std::uint16_t>(uint_n(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(uint_n(4)); }
+  std::uint64_t u64() { return uint_n(8); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+ private:
+  std::uint64_t uint_n(int bytes) {
+    if (pos_ + static_cast<std::size_t>(bytes) > data_.size()) {
+      throw std::runtime_error("trace binary: truncated file");
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i) {
+      const auto byte = static_cast<unsigned char>(
+          data_[pos_ + static_cast<std::size_t>(i)]);
+      v |= static_cast<std::uint64_t>(byte) << (8 * i);
+    }
+    pos_ += static_cast<std::size_t>(bytes);
+    return v;
+  }
+
+  const std::string& data_;
+  std::size_t pos_;
+};
+
+std::string format_double(double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);  // shortest round-trip representation
+}
+
+double parse_double(const std::string& token, const char* what) {
+  double v = 0.0;
+  const auto res =
+      std::from_chars(token.data(), token.data() + token.size(), v);
+  if (res.ec != std::errc{} || res.ptr != token.data() + token.size()) {
+    throw std::runtime_error(std::string("trace text: bad ") + what + ": " +
+                             token);
+  }
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& token, const char* what) {
+  std::uint64_t v = 0;
+  const auto res =
+      std::from_chars(token.data(), token.data() + token.size(), v);
+  if (res.ec != std::errc{} || res.ptr != token.data() + token.size()) {
+    throw std::runtime_error(std::string("trace text: bad ") + what + ": " +
+                             token);
+  }
+  return v;
+}
+
+}  // namespace
+
+void TraceWriter::write_text(std::ostream& os, const Trace& trace) {
+  os << "drltrc " << kTraceFormatVersion << "\n";
+  os << "nodes " << trace.nodes << "\n";
+  os << "default_length " << trace.default_length << "\n";
+  os << "records " << trace.records.size() << "\n";
+  os << "# id src dst time flits [dep,dep,...]\n";
+  for (const TraceRecord& r : trace.records) {
+    os << r.id << ' ' << r.src << ' ' << r.dst << ' ' << format_double(r.time)
+       << ' ' << r.length;
+    for (std::size_t i = 0; i < r.deps.size(); ++i) {
+      os << (i == 0 ? ' ' : ',') << r.deps[i];
+    }
+    os << '\n';
+  }
+}
+
+Trace TraceReader::read_text(std::istream& is) {
+  Trace trace;
+  trace.default_length = 4;
+  bool saw_version = false;
+  bool saw_nodes = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) continue;  // blank / comment-only line
+
+    if (!saw_version) {
+      if (first != "drltrc") {
+        throw std::runtime_error(
+            "trace text: missing 'drltrc <version>' header");
+      }
+      int version = 0;
+      if (!(ls >> version) || version != kTraceFormatVersion) {
+        throw std::runtime_error("trace text: unsupported version");
+      }
+      saw_version = true;
+      continue;
+    }
+    if (first == "nodes") {
+      if (!(ls >> trace.nodes)) {
+        throw std::runtime_error("trace text: bad nodes");
+      }
+      saw_nodes = true;
+      continue;
+    }
+    if (first == "default_length") {
+      if (!(ls >> trace.default_length)) {
+        throw std::runtime_error("trace text: bad default_length");
+      }
+      continue;
+    }
+    if (first == "records") {
+      std::size_t n = 0;
+      if (ls >> n) trace.records.reserve(n);
+      continue;
+    }
+
+    // A record line: id src dst time flits [deps]
+    TraceRecord rec;
+    rec.id = parse_u64(first, "record id");
+    std::string time_token;
+    if (!(ls >> rec.src >> rec.dst >> time_token >> rec.length)) {
+      throw std::runtime_error("trace text: malformed record line: " + line);
+    }
+    rec.time = parse_double(time_token, "record time");
+    std::string deps_token;
+    if (ls >> deps_token) {
+      std::size_t start = 0;
+      while (start <= deps_token.size()) {
+        const std::size_t comma = deps_token.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? deps_token.size() : comma;
+        rec.deps.push_back(
+            parse_u64(deps_token.substr(start, end - start), "dependency id"));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    }
+    std::string extra;
+    if (ls >> extra) {
+      // Deps are comma-separated in one token; trailing tokens would
+      // otherwise be dropped silently (e.g. space-separated deps).
+      throw std::runtime_error("trace text: unexpected trailing token '" +
+                               extra + "' on record line: " + line);
+    }
+    trace.records.push_back(std::move(rec));
+  }
+  if (!saw_version) throw std::runtime_error("trace text: empty input");
+  if (!saw_nodes) throw std::runtime_error("trace text: missing 'nodes' line");
+  return trace;
+}
+
+void TraceWriter::write_binary(std::ostream& os, const Trace& trace) {
+  std::uint64_t dep_total = 0;
+  for (const TraceRecord& r : trace.records) {
+    if (r.deps.size() > 0xffff) {
+      throw std::runtime_error("trace binary: > 65535 dependencies on record " +
+                               std::to_string(r.id));
+    }
+    dep_total += r.deps.size();
+  }
+  std::string buf;
+  buf.reserve(kHeaderBytes + kRecordBytes * trace.records.size() +
+              8 * static_cast<std::size_t>(dep_total));
+  buf.append(kMagic, sizeof(kMagic));
+  put_u16(buf, static_cast<std::uint16_t>(kTraceFormatVersion));
+  put_u16(buf, 0);  // flags, reserved
+  put_u32(buf, static_cast<std::uint32_t>(trace.nodes));
+  put_u32(buf, static_cast<std::uint32_t>(trace.default_length));
+  put_u64(buf, trace.records.size());
+  put_u64(buf, dep_total);
+
+  std::uint32_t dep_offset = 0;
+  for (const TraceRecord& r : trace.records) {
+    put_u64(buf, r.id);
+    put_u32(buf, static_cast<std::uint32_t>(r.src));
+    put_u32(buf, static_cast<std::uint32_t>(r.dst));
+    put_u64(buf, std::bit_cast<std::uint64_t>(r.time));
+    put_u16(buf, static_cast<std::uint16_t>(r.length));
+    put_u16(buf, static_cast<std::uint16_t>(r.deps.size()));
+    put_u32(buf, dep_offset);
+    dep_offset += static_cast<std::uint32_t>(r.deps.size());
+  }
+  for (const TraceRecord& r : trace.records) {
+    for (std::uint64_t dep : r.deps) put_u64(buf, dep);
+  }
+  os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+Trace TraceReader::read_binary(std::istream& is) {
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  const std::string data = ss.str();
+  if (data.size() < kHeaderBytes ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("trace binary: bad magic");
+  }
+  ByteCursor header(data, sizeof(kMagic));
+  const std::uint16_t version = header.u16();
+  if (version != kTraceFormatVersion) {
+    throw std::runtime_error("trace binary: unsupported version " +
+                             std::to_string(version));
+  }
+  header.u16();  // flags
+  Trace trace;
+  trace.nodes = static_cast<int>(header.u32());
+  trace.default_length = static_cast<int>(header.u32());
+  const std::uint64_t record_count = header.u64();
+  const std::uint64_t dep_total = header.u64();
+
+  const std::size_t deps_base =
+      kHeaderBytes + kRecordBytes * static_cast<std::size_t>(record_count);
+  if (data.size() < deps_base + 8 * static_cast<std::size_t>(dep_total)) {
+    throw std::runtime_error("trace binary: truncated file");
+  }
+
+  trace.records.resize(static_cast<std::size_t>(record_count));
+  ByteCursor cur(data, kHeaderBytes);
+  for (TraceRecord& r : trace.records) {
+    r.id = cur.u64();
+    r.src = cur.i32();
+    r.dst = cur.i32();
+    r.time = cur.f64();
+    r.length = static_cast<int>(cur.u16());
+    const std::uint16_t dep_count = cur.u16();
+    const std::uint32_t dep_offset = cur.u32();
+    if (static_cast<std::uint64_t>(dep_offset) + dep_count > dep_total) {
+      throw std::runtime_error("trace binary: dependency slice out of range");
+    }
+    ByteCursor deps(data, deps_base + 8 * static_cast<std::size_t>(dep_offset));
+    r.deps.resize(dep_count);
+    for (std::uint64_t& dep : r.deps) dep = deps.u64();
+  }
+  return trace;
+}
+
+namespace {
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+}  // namespace
+
+void TraceWriter::write_file(const std::string& path, const Trace& trace) {
+  trace.validate();
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("trace: cannot open for write: " + path);
+  if (has_suffix(path, kBinaryExtension)) {
+    write_binary(out, trace);
+  } else {
+    write_text(out, trace);
+  }
+  if (!out) throw std::runtime_error("trace: write failed: " + path);
+}
+
+Trace TraceReader::read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace: cannot open: " + path);
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  in.clear();
+  in.seekg(0);
+  Trace trace = (in.gcount() == sizeof(magic) &&
+                 std::memcmp(magic, kMagic, sizeof(kMagic)) == 0)
+                    ? read_binary(in)
+                    : read_text(in);
+  trace.validate();
+  return trace;
+}
+
+}  // namespace drlnoc::trace

@@ -1,0 +1,54 @@
+// Versioned trace serialisation: a human-readable text format (`.drltrc`)
+// and a packed little-endian binary (`.drltrb`) with a fixed 32-byte header
+// and fixed 32-byte record stride, so readers can compute offsets (or mmap)
+// without parsing.
+//
+// Text format (lines; '#' starts a comment):
+//   drltrc 1
+//   nodes 16
+//   default_length 4
+//   records 3            # optional, preallocation hint
+//   1 0 5 0 4            # id src dst time flits [dep,dep,...]
+//   2 1 5 0 4
+//   3 5 0 12.5 8 1,2
+// Times are written with shortest-round-trip precision, so text round-trips
+// are bit-exact.
+//
+// Binary layout (all little-endian):
+//   header  : magic "DRLT" (4) | version u16 | flags u16 | nodes u32 |
+//             default_length u32 | record_count u64 | dep_count u64
+//   records : record_count x { id u64 | src i32 | dst i32 | time f64-bits |
+//             length u16 | dep_count u16 | dep_offset u32 }
+//   deps    : dep_count x u64 (record i's slice starts at its dep_offset)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace drlnoc::trace {
+
+inline constexpr int kTraceFormatVersion = 1;
+inline constexpr char kTextExtension[] = ".drltrc";
+inline constexpr char kBinaryExtension[] = ".drltrb";
+
+class TraceWriter {
+ public:
+  static void write_text(std::ostream& os, const Trace& trace);
+  static void write_binary(std::ostream& os, const Trace& trace);
+  /// Writes by extension: `.drltrb` selects binary, anything else text.
+  /// Validates the trace first; throws std::runtime_error on I/O failure.
+  static void write_file(const std::string& path, const Trace& trace);
+};
+
+class TraceReader {
+ public:
+  static Trace read_text(std::istream& is);
+  static Trace read_binary(std::istream& is);
+  /// Sniffs the magic bytes to pick the decoder, then validates. Throws
+  /// std::runtime_error on unreadable/corrupt files.
+  static Trace read_file(const std::string& path);
+};
+
+}  // namespace drlnoc::trace

@@ -30,10 +30,10 @@ Config Config::from_args(int argc, const char* const* argv) {
       continue;
     }
     if (dashed && !token.empty() && eq == std::string::npos && i + 1 < argc) {
-      // Only consume the next token as this flag's value when it looks like
-      // a value: another flag or a key=value pair means the value is missing.
+      // Consume the next token as this flag's value unless it is itself a
+      // flag. Values may contain '=' (e.g. `--workload trace=app.drltrc`).
       const std::string next = argv[i + 1];
-      if (next.rfind("--", 0) != 0 && next.find('=') == std::string::npos) {
+      if (next.rfind("--", 0) != 0) {
         cfg.set(token, argv[++i]);
         continue;
       }

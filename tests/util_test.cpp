@@ -191,6 +191,15 @@ TEST(Config, RejectsMalformedArg) {
   EXPECT_THROW(Config::from_args(2, argv), std::invalid_argument);
 }
 
+TEST(Config, DashedFlagValueMayContainEquals) {
+  // `--workload trace=app.drltrc`: the flag's value is the whole next token.
+  const char* argv[] = {"prog", "--workload", "trace=app.drltrc", "--jobs",
+                        "4"};
+  Config cfg = Config::from_args(5, argv);
+  EXPECT_EQ(cfg.get("workload", std::string{}), "trace=app.drltrc");
+  EXPECT_EQ(cfg.get("jobs", 0), 4);
+}
+
 TEST(Config, ParsesTextWithComments) {
   Config cfg = Config::from_text("a=1\n# comment\n b = hello # trailing\n");
   EXPECT_EQ(cfg.get("a", 0), 1);

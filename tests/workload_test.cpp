@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "noc/network.h"
 #include "noc/topology.h"
 #include "noc/workload.h"
 
@@ -86,6 +87,78 @@ TEST(PhasedWorkload, StandardPhasesSaneOnMeshAndRing) {
   const auto ring_phases = PhasedWorkload::standard_phases(ring);
   EXPECT_EQ(ring_phases[3].pattern, "uniform");  // no transpose on a ring
   EXPECT_NO_THROW(PhasedWorkload(ring, ring_phases));
+}
+
+TEST(PhasedWorkload, MultiLoopWraparound) {
+  Mesh2D mesh(4, 4);
+  PhasedWorkload w(mesh, {{"uniform", 0.0, 100.0, "bernoulli"},
+                          {"uniform", 0.5, 60.0, "bernoulli"}});
+  ASSERT_DOUBLE_EQ(w.total_duration(), 160.0);
+  // Several full loops, probing both phases each time around.
+  for (int loop = 0; loop < 5; ++loop) {
+    const double base = 160.0 * loop;
+    EXPECT_EQ(w.phase_index(base), 0u) << "loop " << loop;
+    EXPECT_EQ(w.phase_index(base + 99.9), 0u) << "loop " << loop;
+    EXPECT_EQ(w.phase_index(base + 100.0), 1u) << "loop " << loop;
+    EXPECT_EQ(w.phase_index(base + 159.9), 1u) << "loop " << loop;
+  }
+  // generate() must follow the wrapped phase, not the raw time: the silent
+  // phase stays silent on every loop.
+  util::Rng rng(5);
+  int fired_silent = 0, fired_active = 0;
+  for (int loop = 1; loop <= 20; ++loop) {
+    const double base = 160.0 * loop;
+    for (int i = 0; i < 50; ++i) {
+      if (w.generate(0, base + 10.0, rng) != kInvalidNode) ++fired_silent;
+      if (w.generate(0, base + 120.0, rng) != kInvalidNode) ++fired_active;
+    }
+  }
+  EXPECT_EQ(fired_silent, 0);
+  EXPECT_NEAR(fired_active / 1000.0, 0.5, 0.05);
+  // Offset + wraparound compose: offset past several loops lands mid-cycle.
+  w.set_start_offset(160.0 * 3 + 100.0);
+  EXPECT_EQ(w.phase_index(0.0), 1u);
+  EXPECT_EQ(w.phase_index(60.0), 0u);
+}
+
+TEST(PhasedWorkload, PerPhaseFlitsPerPacketOverride) {
+  Mesh2D mesh(4, 4);
+  Phase control{"uniform", 0.1, 100.0, "bernoulli"};
+  control.flits_per_packet = 1;  // short control packets
+  Phase data{"uniform", 0.1, 100.0, "bernoulli"};
+  data.flits_per_packet = 9;  // long data packets
+  Phase defaulted{"uniform", 0.1, 100.0, "bernoulli"};
+  ASSERT_EQ(defaulted.flits_per_packet, 0);  // network default
+
+  PhasedWorkload w(mesh, {control, data, defaulted});
+  EXPECT_EQ(w.packet_length(0.0), 1);
+  EXPECT_EQ(w.packet_length(150.0), 9);
+  EXPECT_EQ(w.packet_length(250.0), 0);
+  // Wraparound keeps the per-phase override.
+  EXPECT_EQ(w.packet_length(300.0), 1);
+  EXPECT_EQ(w.packet_length(460.0), 9);
+
+  // End to end: the per-packet injector hook must deliver the override to
+  // the NIC — packets generated in the data phase carry 9 flits.
+  NetworkParams p;
+  p.width = p.height = 4;
+  p.flits_per_packet = 4;
+  Network net(p);
+  PhasedWorkload driver(net.topology(), {control, data, defaulted});
+  for (int i = 0; i < 700; ++i) net.step(&driver);
+  while (!net.drained()) net.step(nullptr);
+  int seen[10] = {};
+  for (const PacketRecord& rec : net.drain_records()) {
+    ASSERT_LT(rec.length, 10);
+    ++seen[rec.length];
+    const std::size_t phase = driver.phase_index(rec.inject_time);
+    const int expected = phase == 0 ? 1 : (phase == 1 ? 9 : 4);
+    EXPECT_EQ(rec.length, expected)
+        << "packet injected at " << rec.inject_time << " in phase " << phase;
+  }
+  EXPECT_GT(seen[1], 0);  // control phase
+  EXPECT_GT(seen[9], 0);  // data phase
+  EXPECT_GT(seen[4], 0);  // defaulted phase -> network flits_per_packet
 }
 
 TEST(PhasedWorkload, ScaleMultipliesRates) {

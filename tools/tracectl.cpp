@@ -1,0 +1,192 @@
+// tracectl: inspect, convert, generate, and replay application traces.
+//
+//   tracectl info file=app.drltrc [show=8]
+//   tracectl convert in=app.drltrc out=app.drltrb
+//   tracectl generate kind=dnn|allreduce|alltoall out=app.drltrc [nodes=16 ...]
+//   tracectl replay file=app.drltrc [size=4] [topology=mesh] [scale=1.0]
+//            [cycle_limit=1000000]
+//
+// The text format (.drltrc) and binary format (.drltrb) are documented in
+// src/trace/trace_io.h; `generate` parameters mirror the structs in
+// src/trace/generators.h (layers=, tiles=, batches=, rounds=, flits=,
+// compute=, interval=).
+#include <iostream>
+#include <string>
+
+#include "noc/network.h"
+#include "trace/generators.h"
+#include "trace/trace_io.h"
+#include "trace/trace_workload.h"
+#include "util/config.h"
+#include "util/table.h"
+
+using namespace drlnoc;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: tracectl <info|convert|generate|replay> key=value...\n"
+               "  info     file=X [show=N]\n"
+               "  convert  in=X out=Y            (.drltrc text, .drltrb "
+               "binary)\n"
+               "  generate kind=dnn|allreduce|alltoall out=X [nodes=16]\n"
+               "           [layers=4 tiles=4 batches=4 interval=64]  (dnn)\n"
+               "           [rounds=N compute=C flits=F start=T]\n"
+               "  replay   file=X [size=4] [topology=mesh] [scale=1.0]\n"
+               "           [cycle_limit=1000000]\n";
+  return 2;
+}
+
+int cmd_info(const util::Config& cfg) {
+  const std::string path = cfg.get("file", std::string());
+  if (path.empty()) return usage();
+  const trace::Trace t = trace::TraceReader::read_file(path);
+  const trace::TraceSummary s = t.summary();
+  std::cout << "trace: " << path << "\n"
+            << "  nodes          " << t.nodes << "\n"
+            << "  default_length " << t.default_length << " flits\n"
+            << "  records        " << s.records << "\n"
+            << "  roots          " << s.roots << "\n"
+            << "  dep_edges      " << s.dep_edges << "\n"
+            << "  span           " << util::fmt(s.span, 1)
+            << " core cycles (roots)\n"
+            << "  offered_rate   " << util::fmt(s.offered_rate, 5)
+            << " root pkts/node/cycle\n"
+            << "  total_flits    " << s.total_flits << "\n";
+  const int show = cfg.get("show", 0);
+  if (show > 0) {
+    util::Table tab({"id", "src", "dst", "time", "flits", "deps"});
+    int shown = 0;
+    for (const trace::TraceRecord& r : t.records) {
+      if (shown++ >= show) break;
+      std::string deps;
+      for (std::size_t i = 0; i < r.deps.size(); ++i) {
+        deps += (i ? "," : "") + std::to_string(r.deps[i]);
+      }
+      tab.row()
+          .cell(static_cast<long long>(r.id))
+          .cell(r.src)
+          .cell(r.dst)
+          .cell(r.time, 2)
+          .cell(r.length)
+          .cell(deps.empty() ? "-" : deps);
+    }
+    tab.print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_convert(const util::Config& cfg) {
+  const std::string in = cfg.get("in", std::string());
+  const std::string out = cfg.get("out", std::string());
+  if (in.empty() || out.empty()) return usage();
+  const trace::Trace t = trace::TraceReader::read_file(in);
+  trace::TraceWriter::write_file(out, t);
+  std::cout << "converted " << in << " -> " << out << " (" << t.records.size()
+            << " records)\n";
+  return 0;
+}
+
+int cmd_generate(const util::Config& cfg) {
+  const std::string kind = cfg.get("kind", std::string());
+  const std::string out = cfg.get("out", std::string());
+  if (kind.empty() || out.empty()) return usage();
+  trace::Trace t;
+  if (kind == "dnn") {
+    trace::DnnPipelineParams p;
+    p.nodes = cfg.get("nodes", p.nodes);
+    p.layers = cfg.get("layers", p.layers);
+    p.tiles_per_layer = cfg.get("tiles", p.tiles_per_layer);
+    p.batches = cfg.get("batches", p.batches);
+    p.batch_interval = cfg.get("interval", p.batch_interval);
+    p.compute_delay = cfg.get("compute", p.compute_delay);
+    p.activation_flits = cfg.get("flits", p.activation_flits);
+    t = trace::generate_dnn_pipeline(p);
+  } else if (kind == "allreduce") {
+    trace::AllReduceRingParams p;
+    p.nodes = cfg.get("nodes", p.nodes);
+    p.rounds = cfg.get("rounds", p.rounds);
+    p.compute_delay = cfg.get("compute", p.compute_delay);
+    p.chunk_flits = cfg.get("flits", p.chunk_flits);
+    p.start_time = cfg.get("start", p.start_time);
+    t = trace::generate_allreduce_ring(p);
+  } else if (kind == "alltoall") {
+    trace::AllToAllParams p;
+    p.nodes = cfg.get("nodes", p.nodes);
+    p.rounds = cfg.get("rounds", p.rounds);
+    p.compute_delay = cfg.get("compute", p.compute_delay);
+    p.flits = cfg.get("flits", p.flits);
+    p.start_time = cfg.get("start", p.start_time);
+    t = trace::generate_alltoall(p);
+  } else {
+    std::cerr << "tracectl: unknown kind '" << kind << "'\n";
+    return usage();
+  }
+  trace::TraceWriter::write_file(out, t);
+  const trace::TraceSummary s = t.summary();
+  std::cout << "generated " << kind << " trace: " << out << " ("
+            << s.records << " records, " << s.dep_edges << " dep edges, "
+            << t.nodes << " nodes)\n";
+  return 0;
+}
+
+int cmd_replay(const util::Config& cfg) {
+  const std::string path = cfg.get("file", std::string());
+  if (path.empty()) return usage();
+  trace::Trace t = trace::TraceReader::read_file(path);
+
+  noc::NetworkParams p;
+  p.topology = cfg.get("topology", std::string("mesh"));
+  const int size = cfg.get("size", 4);
+  p.width = cfg.get("width", size);
+  p.height = cfg.get("height", size);
+  p.seed = cfg.get("seed", 1);
+  if (p.width * p.height < t.nodes) {
+    std::cerr << "tracectl: trace needs " << t.nodes << " nodes, network has "
+              << p.width * p.height << " (pass size=/width=/height=)\n";
+    return 1;
+  }
+
+  trace::TraceWorkloadParams tw;
+  tw.rate_scale = cfg.get("scale", 1.0);
+  noc::Network net(p);
+  trace::TraceWorkload workload(std::move(t), tw);
+  const auto limit =
+      static_cast<std::uint64_t>(cfg.get("cycle_limit", 1000000LL));
+  const trace::TraceReplayResult r =
+      trace::run_trace_replay(net, workload, limit);
+
+  std::cout << "replayed " << path << " on " << p.topology << " " << p.width
+            << "x" << p.height << " at scale " << util::fmt(tw.rate_scale, 2)
+            << (r.completed ? "" : "  [HIT CYCLE LIMIT]") << "\n";
+  util::Table tab({"metric", "value"});
+  tab.row().cell("router_cycles").cell(static_cast<long long>(r.cycles));
+  tab.row().cell("core_cycles").cell(r.stats.core_cycles, 1);
+  tab.row().cell("packets").cell(
+      static_cast<long long>(r.stats.packets_received));
+  tab.row().cell("avg_latency").cell(r.stats.avg_latency, 2);
+  tab.row().cell("p95_latency").cell(r.stats.p95_latency, 2);
+  tab.row().cell("avg_hops").cell(r.stats.avg_hops, 2);
+  tab.row().cell("energy_pJ").cell(r.stats.total_energy_pj(), 1);
+  tab.print(std::cout);
+  return r.completed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const util::Config cfg = util::Config::from_args(argc - 1, argv + 1);
+    if (command == "info") return cmd_info(cfg);
+    if (command == "convert") return cmd_convert(cfg);
+    if (command == "generate") return cmd_generate(cfg);
+    if (command == "replay") return cmd_replay(cfg);
+    std::cerr << "tracectl: unknown command '" << command << "'\n";
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "tracectl: " << e.what() << "\n";
+    return 1;
+  }
+}
