@@ -55,14 +55,17 @@ inline std::map<std::string, double> read_baseline_metrics(
 }
 
 /// Writes the benchmark JSON block: metrics, then baseline + speedup when a
-/// baseline is provided.
+/// baseline is provided. `units` labels the metric values (throughput
+/// benches use the default "per_second"; mixed-metric tables pass their
+/// own label).
 inline void write_metrics_json(
     std::ostream& os, const std::string& bench_name,
     const std::vector<std::pair<std::string, double>>& metrics,
-    const std::map<std::string, double>& baseline) {
+    const std::map<std::string, double>& baseline,
+    const std::string& units = "per_second") {
   os.precision(6);
   os << "{\n  \"bench\": \"" << bench_name
-     << "\",\n  \"units\": \"per_second\",\n";
+     << "\",\n  \"units\": \"" << units << "\",\n";
   os << "  \"metrics\": {\n";
   for (std::size_t i = 0; i < metrics.size(); ++i) {
     os << "    \"" << metrics[i].first << "\": " << metrics[i].second

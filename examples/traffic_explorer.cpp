@@ -5,6 +5,7 @@
 //   ./build/examples/traffic_explorer topology=torus size=8 rate=0.08 --jobs 4
 //   ./build/examples/traffic_explorer --workload trace=app.drltrc scale=2
 //   ./build/examples/traffic_explorer --workload phased=0.8
+//   ./build/examples/traffic_explorer --workload scenario=mix.drlsc
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -12,6 +13,8 @@
 #include <vector>
 
 #include "noc/simulator.h"
+#include "scenario/runtime.h"
+#include "scenario/scenario_io.h"
 #include "trace/trace_io.h"
 #include "trace/trace_workload.h"
 #include "util/config.h"
@@ -54,6 +57,34 @@ int explore_trace(const noc::NetworkParams& p, const std::string& path,
   tab.print(std::cout);
   std::cout << "\ndependency-gated records inject only after their "
                "predecessors deliver; raise scale= to stress the fabric.\n";
+  return r.completed ? 0 : 1;
+}
+
+/// `--workload scenario=<file>`: run a multi-tenant `.drlsc` scenario on its
+/// own fabric (the scenario carries its topology; size=/topology= flags are
+/// ignored) and print aggregate plus per-tenant metrics.
+int explore_scenario(const std::string& path) {
+  const scenario::Scenario s = scenario::ScenarioReader::read_file(path);
+  const scenario::ScenarioRunResult r = scenario::run_scenario(s);
+  std::cout << "scenario '" << s.name << "' on " << s.net.topology << " "
+            << s.net.width << "x" << s.net.height
+            << (r.completed ? "" : "  [HIT CYCLE LIMIT]") << "\n";
+  util::Table tab({"tenant", "offered", "delivered", "avg_lat", "p95_lat",
+                   "thru(pkt/node/cyc)", "energy_pJ"});
+  for (const scenario::TenantReport& t :
+       scenario::tenant_reports(s, r.stats)) {
+    tab.row()
+        .cell(t.name)
+        .cell(static_cast<long long>(t.packets_offered))
+        .cell(static_cast<long long>(t.packets_received))
+        .cell(t.avg_latency, 1)
+        .cell(t.p95_latency, 1)
+        .cell(t.throughput, 5)
+        .cell(t.energy_share_pj, 1);
+  }
+  tab.print(std::cout);
+  std::cout << "\ntenants share one fabric; per-tenant latency shows who "
+               "pays for the interference.\n";
   return r.completed ? 0 : 1;
 }
 
@@ -105,13 +136,17 @@ int main(int argc, char** argv) {
             << ", jobs " << jobs << "\n\n";
 
   // Application-level workloads: `--workload trace=<file>` replays a trace
-  // (see src/trace/), `--workload phased[=scale]` runs the canonical phased
-  // workload. Default (no flag): the synthetic pattern sweep below.
+  // (see src/trace/), `--workload scenario=<file>` runs a multi-tenant
+  // scenario (see src/scenario/), `--workload phased[=scale]` runs the
+  // canonical phased workload. Default (no flag): the pattern sweep below.
   if (cfg.has("workload")) {
     const std::string w = cfg.get("workload", std::string());
     try {
       if (w.rfind("trace=", 0) == 0) {
         return explore_trace(p, w.substr(6), cfg);
+      }
+      if (w.rfind("scenario=", 0) == 0) {
+        return explore_scenario(w.substr(9));
       }
       if (w == "phased" || w.rfind("phased=", 0) == 0) {
         return explore_phased(p, w == "phased" ? "" : w.substr(7), cfg);
@@ -121,7 +156,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cerr << "unknown workload '" << w
-              << "' (expected trace=<file> or phased[=scale])\n";
+              << "' (expected trace=<file>, scenario=<file> or "
+                 "phased[=scale])\n";
     return 1;
   }
 

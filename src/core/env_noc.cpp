@@ -1,15 +1,38 @@
 #include "core/env_noc.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "noc/simulator.h"
+#include "scenario/runtime.h"
 #include "trace/trace_workload.h"
 
 namespace drlnoc::core {
 
+namespace {
+/// Applied before member construction: a scenario overrides the network
+/// section so the feature extractor and action-space checks see the
+/// scenario's fabric. The traffic seed stays with NocEnvParams — the RL
+/// evaluation protocol (per-replica seeds, per-episode reseeding) owns it;
+/// the scenario's own seed governs standalone scenarioctl-style runs.
+NocEnvParams resolve_scenario(NocEnvParams p) {
+  if (p.scenario) {
+    if (p.trace) {
+      throw std::invalid_argument(
+          "NocEnvParams: set either trace or scenario, not both");
+    }
+    p.scenario->validate();
+    const std::uint64_t seed = p.net.seed;
+    p.net = p.scenario->net;
+    p.net.seed = seed;
+  }
+  return p;
+}
+}  // namespace
+
 NocConfigEnv::NocConfigEnv(NocEnvParams params)
-    : params_(std::move(params)),
+    : params_(resolve_scenario(std::move(params))),
       features_(params_.actions, params_.net.width * params_.net.height),
       reward_(params_.reward) {
   // Validate the action space against the hardware limits.
@@ -23,12 +46,20 @@ NocConfigEnv::NocConfigEnv(NocEnvParams params)
   }
   if (params_.trace) {
     params_.trace->validate();
+    if (!(params_.trace_rate_scale > 0.0) ||
+        !std::isfinite(params_.trace_rate_scale)) {
+      throw std::invalid_argument(
+          "trace_rate_scale must be finite and > 0, got " +
+          std::to_string(params_.trace_rate_scale));
+    }
     if (params_.trace->nodes > params_.net.width * params_.net.height) {
       throw std::invalid_argument(
           "trace addresses " + std::to_string(params_.trace->nodes) +
           " nodes but the network has only " +
           std::to_string(params_.net.width * params_.net.height));
     }
+  } else if (params_.scenario) {
+    // Already validated by resolve_scenario; nothing phased to default.
   } else if (params_.phases.empty()) {
     const auto topo = noc::make_topology(params_.net.topology,
                                          params_.net.width,
@@ -49,7 +80,10 @@ double NocConfigEnv::calibrate_power_ref() {
   np.initial_config = params_.actions.decode(params_.actions.max_action());
   noc::Network net(np, params_.power);
   double max_rate = 0.0;
-  if (params_.trace) {
+  if (params_.scenario) {
+    max_rate =
+        std::clamp(scenario::peak_offered_rate(*params_.scenario), 0.01, 0.5);
+  } else if (params_.trace) {
     // Rough equivalent offered load of the trace's root packets, after the
     // rate-scale knob; a coarse normalizer is fine here.
     max_rate = std::clamp(
@@ -76,7 +110,16 @@ void NocConfigEnv::build_network() {
   }
   workload_.reset();
   phased_ = nullptr;
+  composite_ = nullptr;
   net_ = std::make_unique<noc::Network>(np, params_.power);
+  if (params_.scenario) {
+    auto composite =
+        scenario::build_workload(*params_.scenario, net_->topology());
+    composite_ = composite.get();
+    workload_ = std::move(composite);
+    net_->set_tenant_tracking(params_.scenario->num_tenants());
+    return;
+  }
   if (params_.trace) {
     trace::TraceWorkloadParams tw;
     tw.rate_scale = params_.trace_rate_scale;

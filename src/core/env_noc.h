@@ -13,7 +13,12 @@
 #include "noc/network.h"
 #include "noc/workload.h"
 #include "rl/env.h"
+#include "scenario/scenario.h"
 #include "trace/trace.h"
+
+namespace drlnoc::scenario {
+class CompositeWorkload;
+}  // namespace drlnoc::scenario
 
 namespace drlnoc::core {
 
@@ -28,6 +33,13 @@ struct NocEnvParams {
   /// process is the trace itself, modulated only by simulated congestion.
   std::shared_ptr<const trace::Trace> trace{};
   double trace_rate_scale = 1.0;  ///< load knob for trace episodes
+  /// When set, episodes run this multi-tenant scenario: the fabric comes
+  /// from the scenario (`net` is overridden by scenario->net — except the
+  /// traffic seed, which stays with `net.seed` so the evaluation protocol's
+  /// per-replica/per-episode seeding applies to scenarios too), the
+  /// workload is the deterministic composite of the scenario's tenants, and
+  /// epoch stats carry per-tenant slices. Mutually exclusive with `trace`.
+  std::shared_ptr<const scenario::Scenario> scenario{};
   std::uint64_t epoch_cycles = 512;  ///< router cycles per epoch
   int epochs_per_episode = 48;
   RewardParams reward{};
@@ -65,6 +77,10 @@ class NocConfigEnv : public rl::Environment {
   const noc::TrafficInjector* workload() const { return workload_.get(); }
   /// Non-null when the episode runs a PhasedWorkload (i.e. no trace set).
   const noc::PhasedWorkload* phased_workload() const { return phased_; }
+  /// Non-null when the episode runs a multi-tenant scenario.
+  const scenario::CompositeWorkload* composite_workload() const {
+    return composite_;
+  }
   int episode() const { return episode_; }
   /// The auto-calibrated power normalizer (max-config power at the
   /// workload's busiest phase), in mW.
@@ -80,6 +96,7 @@ class NocConfigEnv : public rl::Environment {
   std::unique_ptr<noc::Network> net_;
   std::unique_ptr<noc::TrafficInjector> workload_;
   noc::PhasedWorkload* phased_ = nullptr;  ///< non-null for phased episodes
+  scenario::CompositeWorkload* composite_ = nullptr;  ///< scenario episodes
   noc::EpochStats last_stats_{};
   int episode_ = 0;
   int epoch_in_episode_ = 0;

@@ -24,6 +24,8 @@ EpisodeResult evaluate(NocConfigEnv& env, Controller& controller,
   std::uint64_t packets = 0, offered = 0;
   double node_cycles = 0.0;
   int epochs = 0;
+  std::vector<double> tenant_latency_weighted;
+  std::vector<std::uint64_t> tenant_measured;
 
   bool done = false;
   while (!done) {
@@ -46,6 +48,22 @@ EpisodeResult evaluate(NocConfigEnv& env, Controller& controller,
                                        env.params().net.height);
     out.p95_latency = std::max(out.p95_latency, stats.p95_latency);
     out.backlog_end = stats.source_queue_total;
+    if (!stats.tenants.empty()) {
+      out.tenants.resize(stats.tenants.size());
+      tenant_latency_weighted.resize(stats.tenants.size(), 0.0);
+      tenant_measured.resize(stats.tenants.size(), 0);
+      for (std::size_t i = 0; i < stats.tenants.size(); ++i) {
+        const noc::TenantEpochStats& ts = stats.tenants[i];
+        TenantEpisodeSummary& sum = out.tenants[i];
+        sum.packets_offered += ts.packets_offered;
+        sum.packets_received += ts.packets_received;
+        sum.flits_ejected += ts.flits_ejected;
+        sum.p95_latency = std::max(sum.p95_latency, ts.p95_latency);
+        tenant_latency_weighted[i] +=
+            ts.avg_latency * static_cast<double>(ts.packets_measured);
+        tenant_measured[i] += ts.packets_measured;
+      }
+    }
     if (keep_epochs) out.epochs.push_back(stats);
     out.actions.push_back(action);
     ++epochs;
@@ -60,6 +78,18 @@ EpisodeResult evaluate(NocConfigEnv& env, Controller& controller,
       node_cycles > 0.0 ? static_cast<double>(offered) / node_cycles : 0.0;
   out.accepted_rate =
       node_cycles > 0.0 ? static_cast<double>(packets) / node_cycles : 0.0;
+  for (std::size_t i = 0; i < out.tenants.size(); ++i) {
+    TenantEpisodeSummary& sum = out.tenants[i];
+    sum.mean_latency =
+        tenant_measured[i] > 0
+            ? tenant_latency_weighted[i] /
+                  static_cast<double>(tenant_measured[i])
+            : 0.0;
+    sum.accepted_rate =
+        node_cycles > 0.0
+            ? static_cast<double>(sum.packets_received) / node_cycles
+            : 0.0;
+  }
   return out;
 }
 

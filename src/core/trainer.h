@@ -16,6 +16,17 @@
 
 namespace drlnoc::core {
 
+/// Per-tenant slice of one evaluated episode (multi-tenant scenarios only;
+/// aggregated across epochs from the per-epoch TenantEpochStats).
+struct TenantEpisodeSummary {
+  std::uint64_t packets_offered = 0;
+  std::uint64_t packets_received = 0;
+  std::uint64_t flits_ejected = 0;
+  double mean_latency = 0.0;   ///< packet-weighted over measured deliveries
+  double p95_latency = 0.0;    ///< max epoch p95 (worst window)
+  double accepted_rate = 0.0;  ///< delivered packets / node / core-cycle
+};
+
 /// Aggregate metrics for one evaluated episode.
 struct EpisodeResult {
   std::string controller;
@@ -29,6 +40,9 @@ struct EpisodeResult {
   std::uint64_t backlog_end = 0;
   std::vector<noc::EpochStats> epochs;  ///< per-epoch detail (F4 timeline)
   std::vector<int> actions;             ///< chosen action per epoch
+  /// One entry per tenant when the environment tracks tenants (scenario
+  /// episodes); empty otherwise.
+  std::vector<TenantEpisodeSummary> tenants;
 };
 
 /// Runs one episode with `controller` choosing configurations; no learning.

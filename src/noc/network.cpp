@@ -211,12 +211,19 @@ void Network::inject_due_traffic(TrafficInjector* injector) {
         if (dst == kInvalidNode) continue;
         assert(dst >= 0 && dst < n);
         const int length = injector->packet_length_for(node, t);
+        // Clamp so a misbehaving injector cannot split its accounting
+        // between slot 0 (offered) and the uint16_t-wrapped last slot
+        // (received).
+        const int tenant = std::max(0, injector->tenant_for(node, t));
         const std::uint64_t packet_id = next_packet_id_++;
         nics_[static_cast<std::size_t>(node)]->offer_packet(
-            dst, t, measuring_, packet_id, length);
+            dst, t, measuring_, packet_id, length, tenant);
         injector->on_packet_injected(node, packet_id, t);
         ++epoch_offered_;
         ++total_offered_;
+        if (!tenant_offered_.empty()) {
+          ++tenant_offered_[tenant_slot(tenant)];
+        }
       }
     }
     ++next_core_tick_;
@@ -250,6 +257,16 @@ void Network::step(TrafficInjector* injector) {
         epoch_latency_hist_.add(latency);
         epoch_hops_.add(static_cast<double>(rec.hops));
       }
+      if (!tenant_received_.empty()) {
+        const std::size_t slot = tenant_slot(rec.tenant);
+        ++tenant_received_[slot];
+        tenant_flits_out_[slot] += rec.length;
+        if (rec.measured) {
+          const double latency = rec.eject_time - rec.inject_time;
+          tenant_latency_[slot].add(latency);
+          tenant_latency_hist_[slot].add(latency);
+        }
+      }
       if (injector != nullptr) injector->on_packet_delivered(rec);
       pending_records_.push_back(rec);
     }
@@ -274,6 +291,22 @@ int Network::active_capacity() const {
 
 void Network::refresh_active_capacity() {
   active_capacity_ = static_cast<double>(active_capacity());
+}
+
+void Network::set_tenant_tracking(int num_tenants) {
+  if (num_tenants < 0) {
+    throw std::invalid_argument("set_tenant_tracking: negative tenant count");
+  }
+  const auto n = static_cast<std::size_t>(num_tenants);
+  tenant_offered_.assign(n, 0);
+  tenant_received_.assign(n, 0);
+  tenant_flits_out_.assign(n, 0);
+  tenant_latency_.assign(n, util::Accumulator{});
+  tenant_latency_hist_.clear();
+  tenant_latency_hist_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tenant_latency_hist_.emplace_back(/*limit=*/16384.0, /*buckets=*/8192);
+  }
 }
 
 EpochStats Network::drain_epoch_stats() {
@@ -331,6 +364,23 @@ EpochStats Network::drain_epoch_stats() {
   for (auto& nic : nics_) backlog += nic->source_queue_len();
   s.source_queue_total = backlog;
   s.config = config_;
+
+  s.tenants.resize(tenant_offered_.size());
+  for (std::size_t i = 0; i < tenant_offered_.size(); ++i) {
+    TenantEpochStats& ts = s.tenants[i];
+    ts.packets_offered = tenant_offered_[i];
+    ts.packets_received = tenant_received_[i];
+    ts.packets_measured = tenant_latency_[i].count();
+    ts.flits_ejected = tenant_flits_out_[i];
+    ts.avg_latency = tenant_latency_[i].mean();
+    ts.p95_latency = tenant_latency_hist_[i].percentile(0.95);
+    ts.max_latency = tenant_latency_[i].count() ? tenant_latency_[i].max() : 0.0;
+    tenant_offered_[i] = 0;
+    tenant_received_[i] = 0;
+    tenant_flits_out_[i] = 0;
+    tenant_latency_[i].reset();
+    tenant_latency_hist_[i].reset();
+  }
 
   // Reset the window.
   epoch_start_core_time_ = core_time_;

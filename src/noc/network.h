@@ -66,6 +66,13 @@ class TrafficInjector {
   virtual int packet_length_for(NodeId /*src*/, double core_time) const {
     return packet_length(core_time);
   }
+  /// Tenant id of the packet being generated, consulted right after
+  /// generate() accepts for `src` (like packet_length_for). Multi-tenant
+  /// scenario workloads override this so delivered-packet records carry
+  /// per-tenant attribution; single-tenant workloads stay tenant 0.
+  virtual int tenant_for(NodeId /*src*/, double /*core_time*/) const {
+    return 0;
+  }
   /// Called right after the generated packet is queued at the source NIC,
   /// with the network-assigned packet id. Lets dependency-aware workloads
   /// map their records onto live packets (see trace/trace_workload.h).
@@ -76,6 +83,19 @@ class TrafficInjector {
   /// (drain-only stepping with a null injector notifies nobody).
   virtual void on_packet_delivered(const PacketRecord& /*rec*/) {}
   virtual std::string name() const = 0;
+};
+
+/// Per-tenant slice of one epoch, populated only when tenant tracking is
+/// enabled (see Network::set_tenant_tracking). Latency fields cover
+/// *measured* packets, matching the aggregate statistics.
+struct TenantEpochStats {
+  std::uint64_t packets_offered = 0;
+  std::uint64_t packets_received = 0;
+  std::uint64_t packets_measured = 0;  ///< measured deliveries (latency n)
+  std::uint64_t flits_ejected = 0;
+  double avg_latency = 0.0;  ///< core cycles, over measured deliveries
+  double p95_latency = 0.0;
+  double max_latency = 0.0;
 };
 
 /// Aggregate statistics over one measurement window (epoch).
@@ -99,6 +119,8 @@ struct EpochStats {
   double static_energy_pj = 0.0;
   std::uint64_t source_queue_total = 0;  ///< backlog at epoch end
   NocConfig config{};
+  /// One entry per tenant when tenant tracking is enabled; empty otherwise.
+  std::vector<TenantEpochStats> tenants;
 
   double total_energy_pj() const {
     return dynamic_energy_pj + static_energy_pj;
@@ -146,6 +168,13 @@ class Network {
   /// excluded from latency statistics (warm-up convention).
   void set_measuring(bool measuring) { measuring_ = measuring; }
 
+  /// Enables per-tenant epoch accounting for `num_tenants` tenants (ids
+  /// 0..num_tenants-1, as reported by the injector's tenant_for). Epoch
+  /// stats then carry one TenantEpochStats per tenant; ids at or above
+  /// `num_tenants` fold into the last slot. 0 disables tracking (default).
+  void set_tenant_tracking(int num_tenants);
+  int num_tenants() const { return static_cast<int>(tenant_offered_.size()); }
+
   /// Statistics accumulated since the previous drain (or construction).
   EpochStats drain_epoch_stats();
 
@@ -173,6 +202,15 @@ class Network {
   void inject_due_traffic(TrafficInjector* injector);
   int active_capacity() const;
   void refresh_active_capacity();
+  /// Accumulator index for a tenant id; ids at or above the tracked count
+  /// fold into the last slot (negatives are clamped to 0 at injection, so
+  /// both the offered and received sides see the same id). Only called when
+  /// tracking is enabled (vectors non-empty).
+  std::size_t tenant_slot(int tenant) const {
+    const std::size_t n = tenant_offered_.size();
+    const auto t = static_cast<std::size_t>(tenant < 0 ? 0 : tenant);
+    return t < n ? t : n - 1;
+  }
 
   NetworkParams params_;
   PowerModel power_;
@@ -210,6 +248,13 @@ class Network {
   util::Accumulator epoch_occupancy_;
   std::vector<std::uint64_t> epoch_node_recv_;
   std::vector<PacketRecord> pending_records_;
+
+  // Per-tenant epoch accumulators; empty unless tenant tracking is enabled.
+  std::vector<std::uint64_t> tenant_offered_;
+  std::vector<std::uint64_t> tenant_received_;
+  std::vector<std::uint64_t> tenant_flits_out_;
+  std::vector<util::Accumulator> tenant_latency_;
+  std::vector<util::Histogram> tenant_latency_hist_;
 
   std::uint64_t total_offered_ = 0;
   std::uint64_t total_received_ = 0;

@@ -28,11 +28,13 @@ void Nic::connect(FlitChannel* inject_flits, CreditChannel* inject_credits,
 }
 
 void Nic::offer_packet(NodeId dst, double core_time, bool measured,
-                       std::uint64_t packet_id, int length) {
+                       std::uint64_t packet_id, int length, int tenant) {
   if (length <= 0) length = params_.flits_per_packet;
   assert(length >= 1 && length <= 0xffff);
+  assert(tenant >= 0 && tenant <= 0xffff);
   source_queue_.push_back(PendingPacket{packet_id, dst, core_time, measured,
-                                        static_cast<std::uint16_t>(length)});
+                                        static_cast<std::uint16_t>(length),
+                                        static_cast<std::uint16_t>(tenant)});
 }
 
 int Nic::pick_injection_vc() const {
@@ -81,6 +83,7 @@ void Nic::step(Cycle cycle, double core_time) {
         rec.eject_time = core_time;
         rec.hops = flit.hops;
         rec.measured = flit.measured;
+        rec.tenant = flit.tenant;
         records_.push_back(rec);
         ++received_packets_;
       }
@@ -134,6 +137,7 @@ void Nic::step(Cycle cycle, double core_time) {
   flit.packet_len = tx.length;
   flit.inject_time = tx.packet.inject_time;
   flit.measured = tx.packet.measured;
+  flit.tenant = tx.packet.tenant;
   flit.vc_class = 0;
   flit.vc = static_cast<VcId>(send_vc);
   const bool head = tx.next_seq == 0;

@@ -22,6 +22,8 @@ struct PacketRecord {
   double eject_time = 0.0;        ///< core-clock cycles when the tail arrived
   std::uint32_t hops = 0;         ///< router traversals of the tail flit
   bool measured = false;
+  std::uint16_t tenant = 0;       ///< originating tenant (0 outside
+                                  ///< multi-tenant scenarios)
 };
 
 struct NicParams {
@@ -47,9 +49,10 @@ class Nic {
 
   /// Queues a new packet for injection; timestamps are core-clock time.
   /// Latency therefore includes source-queue waiting time. `length` in
-  /// flits; 0 uses the configured default flits_per_packet.
+  /// flits; 0 uses the configured default flits_per_packet. `tenant` tags
+  /// the packet for per-tenant attribution in multi-tenant scenarios.
   void offer_packet(NodeId dst, double core_time, bool measured,
-                    std::uint64_t packet_id, int length = 0);
+                    std::uint64_t packet_id, int length = 0, int tenant = 0);
 
   /// One router-clock cycle: drain ejection link, then inject up to one flit.
   void step(Cycle cycle, double core_time);
@@ -77,6 +80,7 @@ class Nic {
     double inject_time;
     bool measured;
     std::uint16_t length;
+    std::uint16_t tenant;
   };
 
   /// In-progress transmission on one injection VC.

@@ -44,6 +44,7 @@ struct Flit {
   VcId vc = 0;                    ///< VC on the link it currently occupies
   bool measured = false;          ///< true if within the measurement window
   std::uint32_t hops = 0;         ///< router traversals so far
+  std::uint16_t tenant = 0;       ///< originating tenant (multi-tenant runs)
 };
 
 /// Credit returned upstream when a buffer slot frees.

@@ -1,0 +1,107 @@
+// CompositeWorkload: a TrafficInjector that deterministically merges N
+// per-tenant child injectors onto one fabric. Each tenant owns a child
+// injector, a node binding, and an activity window; the composite translates
+// the network's global (node, time) view into each child's local view and
+// back, tags every generated packet with its tenant id (tenant_for), and
+// routes delivery notifications to the owning child so dependency-gated
+// trace tenants keep their congestion feedback.
+//
+// Determinism contract: per node and per core tick tenants are polled in
+// ascending tenant-id order and the first accepting tenant wins the slot;
+// losing tenants are simply not polled that tick, so their state (including
+// any RNG draws) is untouched. A single-tenant composite with the identity
+// binding forwards every call unchanged and is bit-identical to driving the
+// child injector directly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "noc/network.h"
+#include "trace/trace_workload.h"
+
+namespace drlnoc::scenario {
+
+/// One tenant mounted into a CompositeWorkload.
+struct TenantBinding {
+  std::string name = "tenant";
+  std::unique_ptr<noc::TrafficInjector> injector;
+  /// Node binding. Empty = the whole fabric, no remapping. Non-empty with
+  /// `remap` set = the child addresses local ids 0..nodes.size()-1 placed on
+  /// these global ids (trace placement). Non-empty without `remap` = the
+  /// child sees global ids but only these nodes act as sources (synthetic
+  /// source restriction).
+  std::vector<noc::NodeId> nodes;
+  bool remap = false;
+  /// Activity window in global core time; the child observes a local clock
+  /// that starts at 0 at `start`.
+  double start = 0.0;
+  double stop = std::numeric_limits<double>::infinity();
+  /// Set when `injector` is a TraceWorkload: enables completion tracking
+  /// (quiescent()) without the composite probing types.
+  const trace::TraceWorkload* trace = nullptr;
+};
+
+class CompositeWorkload : public noc::TrafficInjector {
+ public:
+  /// `num_nodes` is the fabric size; bindings keep their index as tenant id.
+  CompositeWorkload(int num_nodes, std::vector<TenantBinding> bindings);
+
+  noc::NodeId generate(noc::NodeId src, double core_time,
+                       util::Rng& rng) override;
+  int packet_length_for(noc::NodeId src, double core_time) const override;
+  int tenant_for(noc::NodeId src, double core_time) const override;
+  void on_packet_injected(noc::NodeId src, std::uint64_t packet_id,
+                          double core_time) override;
+  void on_packet_delivered(const noc::PacketRecord& rec) override;
+  std::string name() const override;
+
+  /// Caps every tenant's window at `horizon` (global core time); used by
+  /// duration-bounded scenario runs so injection stops at the horizon.
+  void set_horizon(double horizon) { horizon_ = horizon; }
+  double horizon() const { return horizon_; }
+
+  /// True when no tenant will ever inject again at or after `core_time`:
+  /// trace tenants have delivered every record (a looping trace never
+  /// finishes) and windowed tenants have passed min(stop, horizon).
+  bool quiescent(double core_time) const;
+
+  int num_tenants() const { return static_cast<int>(tenants_.size()); }
+  const TenantBinding& tenant(int id) const {
+    return tenants_[static_cast<std::size_t>(id)];
+  }
+  /// Packets injected so far on behalf of tenant `id`.
+  std::uint64_t emitted(int id) const {
+    return emitted_[static_cast<std::size_t>(id)];
+  }
+  /// Packets delivered so far to tenant `id`.
+  std::uint64_t delivered(int id) const {
+    return delivered_[static_cast<std::size_t>(id)];
+  }
+
+ private:
+  bool window_active(const TenantBinding& b, double t) const {
+    return t >= b.start && t < b.stop && t < horizon_;
+  }
+
+  std::vector<TenantBinding> tenants_;
+  /// Per global node: tenant ids that may source there, ascending.
+  std::vector<std::vector<int>> sources_;
+  /// Per tenant: global node id -> local id (kInvalidNode when not bound);
+  /// empty for tenants that do not remap.
+  std::vector<std::vector<noc::NodeId>> local_of_;
+  std::vector<std::uint64_t> emitted_;
+  std::vector<std::uint64_t> delivered_;
+  /// Live packet -> owning tenant, for delivery routing.
+  std::unordered_map<std::uint64_t, int> live_;
+  /// generate() -> packet_length_for()/tenant_for() -> on_packet_injected()
+  /// handshake scratch.
+  int pending_tenant_ = -1;
+  double horizon_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace drlnoc::scenario

@@ -1,0 +1,160 @@
+#include "scenario/runtime.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "noc/topology.h"
+#include "noc/traffic.h"
+
+namespace drlnoc::scenario {
+
+std::unique_ptr<noc::Network> build_network(const Scenario& scenario) {
+  return std::make_unique<noc::Network>(scenario.net);
+}
+
+std::unique_ptr<CompositeWorkload> build_workload(const Scenario& scenario,
+                                                  const noc::Topology& topo) {
+  // Callers (the loader, the env, run_scenario) validate once up front;
+  // re-validating here would re-walk every trace record on each RL episode
+  // reset.
+  if (topo.num_nodes() < scenario.net.width * scenario.net.height) {
+    throw std::invalid_argument(
+        "scenario: topology smaller than the scenario's fabric");
+  }
+  std::vector<TenantBinding> bindings;
+  bindings.reserve(scenario.tenants.size());
+  for (const TenantSpec& t : scenario.tenants) {
+    TenantBinding b;
+    b.name = t.name;
+    b.nodes = t.nodes;
+    b.start = t.start;
+    b.stop = t.stop;
+    switch (t.kind) {
+      case WorkloadKind::kTrace: {
+        trace::TraceWorkloadParams tw;
+        tw.rate_scale = t.rate_scale;
+        tw.loop = t.loop;
+        auto child = std::make_unique<trace::TraceWorkload>(t.trace, tw);
+        b.trace = child.get();
+        // A placement list puts trace endpoint i on nodes[i]; without one
+        // the trace addresses fabric ids directly.
+        b.remap = !t.nodes.empty();
+        b.injector = std::move(child);
+        break;
+      }
+      case WorkloadKind::kSteady:
+        b.injector = std::make_unique<noc::SteadyWorkload>(
+            noc::SteadyWorkload::make(topo, t.pattern, t.rate, t.process));
+        break;
+      case WorkloadKind::kPhased:
+        b.injector = std::make_unique<noc::PhasedWorkload>(
+            topo, t.phases.empty()
+                      ? noc::PhasedWorkload::standard_phases(topo,
+                                                             t.phase_scale)
+                      : t.phases);
+        break;
+    }
+    bindings.push_back(std::move(b));
+  }
+  return std::make_unique<CompositeWorkload>(topo.num_nodes(),
+                                             std::move(bindings));
+}
+
+double peak_offered_rate(const Scenario& scenario) {
+  double peak = 0.0;
+  std::unique_ptr<noc::Topology> topo;  // built lazily for standard phases
+  for (const TenantSpec& t : scenario.tenants) {
+    switch (t.kind) {
+      case WorkloadKind::kTrace:
+        peak = std::max(peak,
+                        std::clamp(t.trace->summary().offered_rate *
+                                       t.rate_scale,
+                                   0.01, 0.5));
+        break;
+      case WorkloadKind::kSteady:
+        peak = std::max(peak, t.rate);
+        break;
+      case WorkloadKind::kPhased: {
+        std::vector<noc::Phase> phases = t.phases;
+        if (phases.empty()) {
+          if (!topo) {
+            topo = noc::make_topology(scenario.net.topology,
+                                      scenario.net.width,
+                                      scenario.net.height);
+          }
+          phases = noc::PhasedWorkload::standard_phases(*topo, t.phase_scale);
+        }
+        for (const noc::Phase& ph : phases) peak = std::max(peak, ph.rate);
+        break;
+      }
+    }
+  }
+  return peak;
+}
+
+ScenarioRunResult run_scenario(noc::Network& net, CompositeWorkload& workload,
+                               const ScenarioRunParams& params) {
+  if (params.duration > 0.0) workload.set_horizon(params.duration);
+  net.set_tenant_tracking(workload.num_tenants());
+  ScenarioRunResult out;
+  while (out.cycles < params.cycle_limit &&
+         !(workload.quiescent(net.core_time()) && net.drained())) {
+    net.step(&workload);
+    ++out.cycles;
+  }
+  out.completed = workload.quiescent(net.core_time()) && net.drained();
+  out.stats = net.drain_epoch_stats();
+  return out;
+}
+
+ScenarioRunResult run_scenario(const Scenario& scenario) {
+  scenario.validate();
+  auto net = build_network(scenario);
+  auto workload = build_workload(scenario, net->topology());
+  ScenarioRunParams p;
+  p.cycle_limit = scenario.cycle_limit;
+  p.duration = scenario.duration;
+  return run_scenario(*net, *workload, p);
+}
+
+std::vector<TenantReport> tenant_reports(const Scenario& scenario,
+                                         const noc::EpochStats& stats) {
+  if (stats.tenants.size() != scenario.tenants.size()) {
+    throw std::invalid_argument(
+        "tenant_reports: epoch has no per-tenant slices for this scenario "
+        "(was tenant tracking enabled?)");
+  }
+  std::uint64_t total_flits = 0;
+  for (const noc::TenantEpochStats& ts : stats.tenants) {
+    total_flits += ts.flits_ejected;
+  }
+  const double node_cycles =
+      stats.core_cycles *
+      static_cast<double>(scenario.net.width * scenario.net.height);
+  std::vector<TenantReport> out;
+  out.reserve(stats.tenants.size());
+  for (std::size_t i = 0; i < stats.tenants.size(); ++i) {
+    const noc::TenantEpochStats& ts = stats.tenants[i];
+    TenantReport r;
+    r.name = scenario.tenants[i].name;
+    r.packets_offered = ts.packets_offered;
+    r.packets_received = ts.packets_received;
+    r.flits_ejected = ts.flits_ejected;
+    r.avg_latency = ts.avg_latency;
+    r.p95_latency = ts.p95_latency;
+    r.throughput = node_cycles > 0.0
+                       ? static_cast<double>(ts.packets_received) / node_cycles
+                       : 0.0;
+    r.energy_share_pj =
+        total_flits > 0
+            ? stats.total_energy_pj() *
+                  (static_cast<double>(ts.flits_ejected) /
+                   static_cast<double>(total_flits))
+            : 0.0;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace drlnoc::scenario

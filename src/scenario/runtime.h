@@ -1,0 +1,73 @@
+// Scenario runtime: turns a Scenario description into live simulation
+// objects (Network + CompositeWorkload), runs it to completion with
+// per-tenant accounting, and derives per-tenant reports from epoch
+// statistics. This is the layer scenarioctl, traffic_explorer and the
+// multi-tenant benches share.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenario/composite_workload.h"
+#include "scenario/scenario.h"
+
+namespace drlnoc::scenario {
+
+/// Builds the scenario's fabric (topology/seed/etc. from `scenario.net`).
+std::unique_ptr<noc::Network> build_network(const Scenario& scenario);
+
+/// Builds the merged injector for `scenario` over `topo` (the fabric's
+/// topology — synthetic tenants draw destinations from it). Tenant ids are
+/// the declaration indices. The scenario must already be validated (the
+/// loader, the env, and run_scenario(Scenario) all do so); this runs on
+/// every RL episode reset and skips the O(records) re-walk.
+std::unique_ptr<CompositeWorkload> build_workload(const Scenario& scenario,
+                                                  const noc::Topology& topo);
+
+/// Peak synthetic-equivalent offered rate across tenants (packets/node/
+/// core-cycle); the scenario counterpart of the phased workload's busiest
+/// phase, used to calibrate the reward's power normaliser.
+double peak_offered_rate(const Scenario& scenario);
+
+struct ScenarioRunParams {
+  std::uint64_t cycle_limit = 2000000;  ///< router-cycle safety limit
+  /// Run horizon in core cycles (caps every tenant window); 0 = run until
+  /// every tenant finishes.
+  double duration = 0.0;
+};
+
+struct ScenarioRunResult {
+  noc::EpochStats stats;       ///< whole-run window, incl. per-tenant slices
+  bool completed = false;      ///< all tenants quiet and fabric drained
+  std::uint64_t cycles = 0;    ///< router cycles consumed
+};
+
+/// Steps `net` under `workload` until every tenant is quiet and the fabric
+/// drains (or the cycle limit trips). Enables per-tenant tracking on `net`.
+ScenarioRunResult run_scenario(noc::Network& net, CompositeWorkload& workload,
+                               const ScenarioRunParams& params = {});
+
+/// Convenience: build network + workload from the scenario and run it with
+/// the scenario's duration/cycle_limit.
+ScenarioRunResult run_scenario(const Scenario& scenario);
+
+/// Human/JSON-facing per-tenant slice derived from one epoch window.
+struct TenantReport {
+  std::string name;
+  std::uint64_t packets_offered = 0;
+  std::uint64_t packets_received = 0;
+  std::uint64_t flits_ejected = 0;
+  double avg_latency = 0.0;     ///< core cycles, measured deliveries
+  double p95_latency = 0.0;
+  double throughput = 0.0;      ///< delivered packets / node / core-cycle
+  double energy_share_pj = 0.0; ///< epoch energy attributed by flit share
+};
+
+/// Derives per-tenant reports from an epoch's TenantEpochStats (names taken
+/// from the scenario's tenants; sizes must match). Energy is attributed
+/// proportionally to ejected flits.
+std::vector<TenantReport> tenant_reports(const Scenario& scenario,
+                                         const noc::EpochStats& stats);
+
+}  // namespace drlnoc::scenario

@@ -1,0 +1,178 @@
+#include "scenario/scenario.h"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace drlnoc::scenario {
+
+std::string to_string(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kTrace: return "trace";
+    case WorkloadKind::kSteady: return "steady";
+    case WorkloadKind::kPhased: return "phased";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("scenario: " + what);
+}
+
+void validate_tenant(const TenantSpec& t, int num_nodes, int index) {
+  const std::string who = "tenant " + std::to_string(index) + " ('" + t.name +
+                          "'): ";
+  if (t.name.empty()) fail("tenant " + std::to_string(index) + " has no name");
+  if (!(t.start >= 0.0) || !std::isfinite(t.start)) {
+    fail(who + "start must be finite and >= 0");
+  }
+  if (!(t.stop > t.start)) fail(who + "stop must be > start");
+
+  std::set<noc::NodeId> seen;
+  for (noc::NodeId n : t.nodes) {
+    if (n < 0 || n >= num_nodes) {
+      fail(who + "node " + std::to_string(n) + " out of range (fabric has " +
+           std::to_string(num_nodes) + " nodes)");
+    }
+    if (!seen.insert(n).second) {
+      fail(who + "node " + std::to_string(n) + " listed twice");
+    }
+  }
+
+  switch (t.kind) {
+    case WorkloadKind::kTrace: {
+      if (!t.trace) fail(who + "trace workload without a trace");
+      t.trace->validate();
+      if (!(t.rate_scale > 0.0) || !std::isfinite(t.rate_scale)) {
+        fail(who + "rate_scale must be finite and > 0 (got " +
+             std::to_string(t.rate_scale) + ")");
+      }
+      const int span = t.nodes.empty() ? num_nodes
+                                       : static_cast<int>(t.nodes.size());
+      if (t.trace->nodes > span) {
+        fail(who + "trace addresses " + std::to_string(t.trace->nodes) +
+             " nodes but the placement covers only " + std::to_string(span));
+      }
+      break;
+    }
+    case WorkloadKind::kSteady:
+      if (!(t.rate > 0.0) || !std::isfinite(t.rate)) {
+        fail(who + "rate must be finite and > 0 (got " +
+             std::to_string(t.rate) + ")");
+      }
+      break;
+    case WorkloadKind::kPhased:
+      if (t.phases.empty() &&
+          (!(t.phase_scale > 0.0) || !std::isfinite(t.phase_scale))) {
+        fail(who + "phase_scale must be finite and > 0 (got " +
+             std::to_string(t.phase_scale) + ")");
+      }
+      for (const noc::Phase& ph : t.phases) {
+        if (!(ph.rate >= 0.0) || !std::isfinite(ph.rate)) {
+          fail(who + "phase rate must be finite and >= 0");
+        }
+        if (!(ph.duration_core_cycles > 0.0)) {
+          fail(who + "phase duration must be > 0");
+        }
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+void Scenario::validate() const {
+  if (tenants.empty()) fail("no tenants");
+  const int num_nodes = net.width * net.height;
+  if (num_nodes <= 0) fail("empty fabric");
+  if (!(duration >= 0.0) || !std::isfinite(duration)) {
+    fail("duration must be finite and >= 0");
+  }
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    validate_tenant(tenants[i], num_nodes, static_cast<int>(i));
+  }
+  if (duration == 0.0) {
+    // Without a horizon the run ends when every tenant finishes; an
+    // open-ended synthetic tenant would spin to the cycle limit. Looping
+    // traces are equally unbounded.
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      const TenantSpec& t = tenants[i];
+      const bool bounded_by_trace =
+          t.kind == WorkloadKind::kTrace && !t.loop;
+      if (!bounded_by_trace && std::isinf(t.stop)) {
+        fail("tenant " + std::to_string(i) + " ('" + t.name +
+             "') never finishes; set duration= or give it a stop= window");
+      }
+    }
+  }
+}
+
+std::vector<noc::NodeId> parse_node_set(const std::string& text,
+                                        int num_nodes) {
+  std::vector<noc::NodeId> out;
+  if (text.empty() || text == "all") return out;
+  std::istringstream in(text);
+  std::string item;
+  std::set<noc::NodeId> seen;
+  const auto append = [&](noc::NodeId n) {
+    if (!seen.insert(n).second) {
+      fail("node " + std::to_string(n) + " listed twice in node set '" +
+           text + "'");
+    }
+    out.push_back(n);
+  };
+  const auto parse_id = [&](const std::string& s) -> noc::NodeId {
+    std::size_t used = 0;
+    int v = 0;
+    try {
+      v = std::stoi(s, &used);
+    } catch (const std::exception&) {
+      fail("bad node id '" + s + "' in node set '" + text + "'");
+    }
+    if (used != s.size()) {
+      fail("bad node id '" + s + "' in node set '" + text + "'");
+    }
+    if (v < 0 || v >= num_nodes) {
+      fail("node " + std::to_string(v) + " out of range in node set '" +
+           text + "' (fabric has " + std::to_string(num_nodes) + " nodes)");
+    }
+    return v;
+  };
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) fail("empty entry in node set '" + text + "'");
+    const auto dash = item.find('-');
+    if (dash == std::string::npos) {
+      append(parse_id(item));
+      continue;
+    }
+    const noc::NodeId lo = parse_id(item.substr(0, dash));
+    const noc::NodeId hi = parse_id(item.substr(dash + 1));
+    if (hi < lo) fail("inverted range '" + item + "' in node set");
+    for (noc::NodeId n = lo; n <= hi; ++n) append(n);
+  }
+  return out;
+}
+
+std::string format_node_set(const std::vector<noc::NodeId>& nodes) {
+  if (nodes.empty()) return "all";
+  std::ostringstream os;
+  std::size_t i = 0;
+  while (i < nodes.size()) {
+    std::size_t j = i;
+    while (j + 1 < nodes.size() && nodes[j + 1] == nodes[j] + 1) ++j;
+    if (i > 0) os << ",";
+    if (j > i + 1) {
+      os << nodes[i] << "-" << nodes[j];
+    } else {
+      os << nodes[i];
+      if (j == i + 1) os << "," << nodes[j];
+    }
+    i = j + 1;
+  }
+  return os.str();
+}
+
+}  // namespace drlnoc::scenario

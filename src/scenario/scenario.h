@@ -1,0 +1,96 @@
+// Multi-tenant scenario model: one fabric, N tenants, each driving its own
+// workload (a dependency-gated trace replay or a synthetic pattern) over its
+// own node set and activity window. A Scenario is the complete, reproducible
+// description of a multi-tenant experiment — topology, tenants, run horizon —
+// loaded from a versioned `.drlsc` file (scenario_io.h) or built in code.
+// CompositeWorkload (composite_workload.h) merges the tenants onto a live
+// Network deterministically; runtime.h builds and runs whole scenarios.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "noc/network.h"
+#include "noc/workload.h"
+#include "trace/trace.h"
+
+namespace drlnoc::scenario {
+
+/// How a tenant generates traffic.
+enum class WorkloadKind {
+  kTrace,   ///< dependency-gated replay of a recorded/generated trace
+  kSteady,  ///< fixed synthetic pattern + injection process + rate
+  kPhased,  ///< phase sequence (explicit phases, or the standard 4-phase mix)
+};
+
+std::string to_string(WorkloadKind kind);
+
+/// One tenant of a scenario.
+///
+/// Node semantics: `nodes` empty means the whole fabric. For trace tenants a
+/// non-empty list is a *placement*: trace endpoint i runs on nodes[i] (the
+/// list must cover the trace's node count). For synthetic tenants the list
+/// restricts *sources* only — destinations still follow the pattern over the
+/// full topology, which is exactly the "background interference" shape.
+///
+/// Window semantics: the tenant injects only while start <= t < stop (global
+/// core time). Children observe a local clock starting at 0 at `start`, so a
+/// trace tenant's recorded release times are relative to its window.
+struct TenantSpec {
+  std::string name = "tenant";
+  WorkloadKind kind = WorkloadKind::kSteady;
+
+  // kTrace
+  std::shared_ptr<const trace::Trace> trace;  ///< loaded eagerly
+  std::string trace_file;  ///< provenance, kept for describe/write
+  double rate_scale = 1.0;
+  bool loop = false;
+
+  // kSteady / kPhased
+  std::string pattern = "uniform";
+  std::string process = "bernoulli";
+  double rate = 0.05;               ///< packets/node/core-cycle (kSteady)
+  std::vector<noc::Phase> phases;   ///< kPhased; empty => standard phases
+  double phase_scale = 1.0;         ///< rate scale for the standard phases
+
+  // Placement & activity window.
+  std::vector<noc::NodeId> nodes;   ///< empty = all nodes
+  double start = 0.0;
+  double stop = std::numeric_limits<double>::infinity();
+};
+
+/// A complete multi-tenant experiment description.
+struct Scenario {
+  std::string name = "scenario";
+  noc::NetworkParams net{};
+  std::vector<TenantSpec> tenants;
+  /// Run horizon in core cycles; 0 = run until every tenant finishes (trace
+  /// tenants deliver every record, windowed tenants pass their stop time).
+  double duration = 0.0;
+  /// Router-cycle safety limit for scenario runs.
+  std::uint64_t cycle_limit = 2000000;
+
+  int num_tenants() const { return static_cast<int>(tenants.size()); }
+
+  /// Throws std::invalid_argument on malformed scenarios: no tenants,
+  /// nonpositive/nonfinite rates or rate scales, inverted windows, node ids
+  /// out of range or duplicated within a tenant, trace placements that do
+  /// not cover the trace, traces addressing more nodes than the fabric has,
+  /// or a scenario with no finite horizon (every tenant open-ended synthetic
+  /// and duration 0 would never terminate).
+  void validate() const;
+};
+
+/// Parses a node-set expression over `num_nodes` fabric nodes:
+/// "all" (empty result = whole fabric), or a comma list of ids and
+/// inclusive ranges, e.g. "0-15", "3,7,12-14". Order is preserved (it is
+/// the trace-placement order); duplicates and out-of-range ids throw.
+std::vector<noc::NodeId> parse_node_set(const std::string& text,
+                                        int num_nodes);
+
+/// Canonical text of a node set ("all" for empty, ranges recompressed).
+std::string format_node_set(const std::vector<noc::NodeId>& nodes);
+
+}  // namespace drlnoc::scenario

@@ -1,0 +1,275 @@
+#include "scenario/scenario_io.h"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/trace_io.h"
+#include "util/config.h"
+
+namespace drlnoc::scenario {
+
+namespace {
+
+/// Config accessor that remembers every key it served, so the loader can
+/// reject unknown (typically misspelled) keys afterwards.
+struct TrackedConfig {
+  const util::Config& cfg;
+  std::set<std::string>* consumed;
+
+  bool has(const std::string& key) const {
+    if (cfg.has(key)) consumed->insert(key);
+    return cfg.has(key);
+  }
+  template <typename T>
+  T get(const std::string& key, T fallback) const {
+    if (cfg.has(key)) consumed->insert(key);
+    return cfg.get(key, fallback);
+  }
+  std::string str(const std::string& key, const std::string& fallback) const {
+    return get<std::string>(key, fallback);
+  }
+};
+
+std::string join_path(const std::string& base_dir, const std::string& path) {
+  if (base_dir.empty() || path.empty() || path.front() == '/') return path;
+  return base_dir + "/" + path;
+}
+
+TenantSpec parse_tenant(const TrackedConfig& c, int index, int num_nodes,
+                        const std::string& base_dir) {
+  const std::string p = "tenant" + std::to_string(index) + ".";
+  TenantSpec t;
+  t.name = c.str(p + "name", "tenant" + std::to_string(index));
+  const std::string kind = c.str(p + "workload", "steady");
+  if (kind == "trace") {
+    t.kind = WorkloadKind::kTrace;
+  } else if (kind == "steady") {
+    t.kind = WorkloadKind::kSteady;
+  } else if (kind == "phased") {
+    t.kind = WorkloadKind::kPhased;
+  } else {
+    throw std::invalid_argument("scenario: " + p + "workload must be "
+                                "trace|steady|phased, got '" + kind + "'");
+  }
+
+  switch (t.kind) {
+    case WorkloadKind::kTrace: {
+      t.trace_file = c.str(p + "trace", "");
+      if (t.trace_file.empty()) {
+        throw std::invalid_argument("scenario: " + p +
+                                    "trace is required for trace tenants");
+      }
+      t.trace = std::make_shared<const trace::Trace>(
+          trace::TraceReader::read_file(join_path(base_dir, t.trace_file)));
+      t.rate_scale = c.get(p + "rate_scale", t.rate_scale);
+      t.loop = c.get(p + "loop", t.loop);
+      break;
+    }
+    case WorkloadKind::kSteady:
+      t.pattern = c.str(p + "pattern", t.pattern);
+      t.process = c.str(p + "process", t.process);
+      t.rate = c.get(p + "rate", t.rate);
+      break;
+    case WorkloadKind::kPhased: {
+      t.phase_scale = c.get(p + "phase_scale", t.phase_scale);
+      const int phases = c.get(p + "phases", 0);
+      for (int k = 0; k < phases; ++k) {
+        const std::string pp = p + "phase" + std::to_string(k) + ".";
+        noc::Phase ph;
+        ph.pattern = c.str(pp + "pattern", ph.pattern);
+        ph.rate = c.get(pp + "rate", ph.rate);
+        ph.duration_core_cycles =
+            c.get(pp + "duration", ph.duration_core_cycles);
+        ph.process = c.str(pp + "process", ph.process);
+        ph.flits_per_packet = c.get(pp + "flits", ph.flits_per_packet);
+        t.phases.push_back(ph);
+      }
+      break;
+    }
+  }
+
+  t.nodes = parse_node_set(c.str(p + "nodes", "all"), num_nodes);
+  t.start = c.get(p + "start", t.start);
+  t.stop = c.get(p + "stop", t.stop);
+  return t;
+}
+
+}  // namespace
+
+Scenario ScenarioReader::read_text(const std::string& text,
+                                   const std::string& base_dir) {
+  // The magic line is not a key=value pair; find and strip it by hand.
+  std::istringstream in(text);
+  std::string line;
+  std::string rest;
+  bool magic_seen = false;
+  while (std::getline(in, line)) {
+    if (!magic_seen) {
+      std::string stripped = line;
+      const auto hash = stripped.find('#');
+      if (hash != std::string::npos) stripped.erase(hash);
+      const auto b = stripped.find_first_not_of(" \t\r");
+      if (b == std::string::npos) continue;  // blank / comment before magic
+      std::istringstream ls(stripped);
+      std::string magic;
+      int version = 0;
+      if (!(ls >> magic >> version) || magic != "drlsc") {
+        throw std::runtime_error(
+            "scenario: missing magic line (expected 'drlsc 1')");
+      }
+      if (version != kScenarioFormatVersion) {
+        throw std::runtime_error("scenario: unsupported format version " +
+                                 std::to_string(version));
+      }
+      magic_seen = true;
+      continue;
+    }
+    rest += line;
+    rest += '\n';
+  }
+  if (!magic_seen) {
+    throw std::runtime_error(
+        "scenario: missing magic line (expected 'drlsc 1')");
+  }
+
+  const util::Config cfg = util::Config::from_text(rest);
+  std::set<std::string> consumed;
+  const TrackedConfig c{cfg, &consumed};
+
+  Scenario s;
+  s.name = c.str("name", s.name);
+  s.net.topology = c.str("topology", s.net.topology);
+  if (c.has("size")) {
+    s.net.width = s.net.height = c.get("size", s.net.width);
+  }
+  s.net.width = c.get("width", s.net.width);
+  s.net.height = c.get("height", s.net.height);
+  s.net.routing = c.str("routing", s.net.routing);
+  s.net.max_vcs = c.get("max_vcs", s.net.max_vcs);
+  s.net.max_depth = c.get("max_depth", s.net.max_depth);
+  s.net.flits_per_packet = c.get("flits_per_packet", s.net.flits_per_packet);
+  s.net.link_latency = static_cast<noc::Cycle>(
+      c.get("link_latency", static_cast<long long>(s.net.link_latency)));
+  s.net.pipeline_stages = c.get("pipeline_stages", s.net.pipeline_stages);
+  s.net.seed =
+      static_cast<std::uint64_t>(c.get("seed", static_cast<long long>(1)));
+  s.duration = c.get("duration", s.duration);
+  s.cycle_limit = static_cast<std::uint64_t>(
+      c.get("cycle_limit", static_cast<long long>(s.cycle_limit)));
+
+  const int tenants = c.get("tenants", 0);
+  if (tenants <= 0) {
+    throw std::invalid_argument("scenario: tenants must be >= 1");
+  }
+  const int num_nodes = s.net.width * s.net.height;
+  for (int i = 0; i < tenants; ++i) {
+    s.tenants.push_back(parse_tenant(c, i, num_nodes, base_dir));
+  }
+
+  for (const std::string& key : cfg.keys()) {
+    if (!consumed.count(key)) {
+      throw std::invalid_argument("scenario: unknown key '" + key + "'");
+    }
+  }
+  s.validate();
+  return s;
+}
+
+Scenario ScenarioReader::read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("scenario: cannot open " + path);
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto slash = path.find_last_of('/');
+  const std::string base_dir =
+      slash == std::string::npos ? "" : path.substr(0, slash);
+  try {
+    return read_text(ss.str(), base_dir);
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+void ScenarioWriter::write_text(std::ostream& os, const Scenario& s) {
+  s.validate();
+  os << "drlsc " << kScenarioFormatVersion << "\n";
+  os << "name = " << s.name << "\n";
+  os << "topology = " << s.net.topology << "\n";
+  os << "width = " << s.net.width << "\n";
+  os << "height = " << s.net.height << "\n";
+  os << "routing = " << s.net.routing << "\n";
+  os << "max_vcs = " << s.net.max_vcs << "\n";
+  os << "max_depth = " << s.net.max_depth << "\n";
+  os << "flits_per_packet = " << s.net.flits_per_packet << "\n";
+  os << "link_latency = " << s.net.link_latency << "\n";
+  os << "pipeline_stages = " << s.net.pipeline_stages << "\n";
+  os << "seed = " << s.net.seed << "\n";
+  const std::streamsize old_precision = os.precision(17);
+  os << "duration = " << s.duration << "\n";
+  os << "cycle_limit = " << s.cycle_limit << "\n";
+  os << "tenants = " << s.tenants.size() << "\n";
+  for (std::size_t i = 0; i < s.tenants.size(); ++i) {
+    const TenantSpec& t = s.tenants[i];
+    const std::string p = "tenant" + std::to_string(i) + ".";
+    os << "\n" << p << "name = " << t.name << "\n";
+    os << p << "workload = " << to_string(t.kind) << "\n";
+    switch (t.kind) {
+      case WorkloadKind::kTrace:
+        if (t.trace_file.empty()) {
+          throw std::invalid_argument(
+              "scenario: tenant '" + t.name +
+              "' holds an in-memory trace; write it to a file and set "
+              "trace_file before serialising");
+        }
+        os << p << "trace = " << t.trace_file << "\n";
+        os << p << "rate_scale = " << t.rate_scale << "\n";
+        os << p << "loop = " << (t.loop ? "true" : "false") << "\n";
+        break;
+      case WorkloadKind::kSteady:
+        os << p << "pattern = " << t.pattern << "\n";
+        os << p << "process = " << t.process << "\n";
+        os << p << "rate = " << t.rate << "\n";
+        break;
+      case WorkloadKind::kPhased:
+        if (t.phases.empty()) {
+          os << p << "phase_scale = " << t.phase_scale << "\n";
+        } else {
+          os << p << "phases = " << t.phases.size() << "\n";
+          for (std::size_t k = 0; k < t.phases.size(); ++k) {
+            const noc::Phase& ph = t.phases[k];
+            const std::string pp = p + "phase" + std::to_string(k) + ".";
+            os << pp << "pattern = " << ph.pattern << "\n";
+            os << pp << "rate = " << ph.rate << "\n";
+            os << pp << "duration = " << ph.duration_core_cycles << "\n";
+            os << pp << "process = " << ph.process << "\n";
+            os << pp << "flits = " << ph.flits_per_packet << "\n";
+          }
+        }
+        break;
+    }
+    os << p << "nodes = " << format_node_set(t.nodes) << "\n";
+    os << p << "start = " << t.start << "\n";
+    os << p << "stop = " << t.stop << "\n";
+  }
+  os.precision(old_precision);
+}
+
+void ScenarioWriter::write_file(const std::string& path,
+                                const Scenario& scenario) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("scenario: cannot write " + path);
+  }
+  write_text(out, scenario);
+  if (!out) {
+    throw std::runtime_error("scenario: write failed for " + path);
+  }
+}
+
+}  // namespace drlnoc::scenario

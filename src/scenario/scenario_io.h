@@ -1,0 +1,62 @@
+// Versioned `.drlsc` scenario description format: a text file whose first
+// non-comment line is the magic `drlsc 1`, followed by Config-style
+// `key = value` lines ('#' starts a comment). One file captures a whole
+// multi-tenant experiment — topology, tenants, workloads, run horizon — so
+// experiments are reproducible from a single artifact.
+//
+//   drlsc 1
+//   name = dnn_plus_background
+//   topology = mesh          # mesh | torus | ring
+//   width = 8
+//   height = 8
+//   seed = 42
+//   duration = 0             # core cycles; 0 = run until tenants finish
+//
+//   tenants = 2
+//   tenant0.name = dnn
+//   tenant0.workload = trace # trace | steady | phased
+//   tenant0.trace = dnn.drltrc   # path relative to the scenario file
+//   tenant0.rate_scale = 1.0
+//   tenant0.nodes = 0-15     # node set: "all", ids, inclusive ranges
+//   tenant1.name = background
+//   tenant1.workload = steady
+//   tenant1.pattern = uniform
+//   tenant1.rate = 0.04
+//   tenant1.start = 500      # activity window [start, stop) in core cycles
+//   tenant1.stop = 30000
+//
+// Unknown keys are rejected (typo safety); referenced traces are loaded
+// eagerly so a parsed Scenario is self-contained.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "scenario/scenario.h"
+
+namespace drlnoc::scenario {
+
+inline constexpr int kScenarioFormatVersion = 1;
+inline constexpr char kScenarioExtension[] = ".drlsc";
+
+class ScenarioReader {
+ public:
+  /// Parses scenario text; trace paths resolve relative to `base_dir`
+  /// (empty = the working directory). Throws std::runtime_error on
+  /// missing/wrong magic and std::invalid_argument on bad keys or values;
+  /// the returned scenario is validated.
+  static Scenario read_text(const std::string& text,
+                            const std::string& base_dir = "");
+  /// Reads and parses `path`; trace paths resolve relative to its directory.
+  static Scenario read_file(const std::string& path);
+};
+
+class ScenarioWriter {
+ public:
+  /// Emits the canonical `.drlsc` text. Trace tenants must carry a
+  /// `trace_file` (in-memory-only traces cannot be serialised by reference).
+  static void write_text(std::ostream& os, const Scenario& scenario);
+  static void write_file(const std::string& path, const Scenario& scenario);
+};
+
+}  // namespace drlnoc::scenario

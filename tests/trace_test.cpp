@@ -5,6 +5,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <sstream>
 
@@ -179,6 +180,29 @@ TEST(TraceWorkloadTest, RateScaleCompressesReleases) {
   for (const auto& r : records) {
     EXPECT_DOUBLE_EQ(r.inject_time, r.packet_id == 1 ? 5.0 : 15.0);
   }
+}
+
+TEST(TraceWorkloadTest, RejectsNonpositiveRateScale) {
+  // A zero/negative/non-finite rate scale would turn release times into
+  // inf/NaN; the constructor must refuse it with a clear error instead.
+  const Trace t = small_trace();
+  for (const double bad : {0.0, -1.0,
+                           std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN()}) {
+    TraceWorkloadParams tw;
+    tw.rate_scale = bad;
+    EXPECT_THROW(TraceWorkload(t, tw), std::invalid_argument) << bad;
+  }
+}
+
+TEST(TraceEnv, RejectsNonpositiveTraceRateScale) {
+  core::NocEnvParams ep;
+  ep.net.width = ep.net.height = 4;
+  ep.trace = std::make_shared<const Trace>(small_trace());
+  ep.trace_rate_scale = 0.0;
+  EXPECT_THROW(core::NocConfigEnv{ep}, std::invalid_argument);
+  ep.trace_rate_scale = -2.0;
+  EXPECT_THROW(core::NocConfigEnv{ep}, std::invalid_argument);
 }
 
 TEST(TraceWorkloadTest, PerSourceQueueDrainsOnePerTick) {

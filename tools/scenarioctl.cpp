@@ -1,0 +1,155 @@
+// scenarioctl: validate, describe, and run multi-tenant `.drlsc` scenarios.
+//
+//   scenarioctl validate file=mix.drlsc
+//   scenarioctl describe file=mix.drlsc
+//   scenarioctl run      file=mix.drlsc [cycle_limit=N] [duration=T] [seed=S]
+//
+// The `.drlsc` format is documented in src/scenario/scenario_io.h. `run`
+// executes the scenario on its fabric and prints aggregate plus per-tenant
+// latency/throughput/energy; the exit code is 0 only when every tenant
+// finished and the fabric drained within the cycle limit.
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "scenario/runtime.h"
+#include "scenario/scenario_io.h"
+#include "util/config.h"
+#include "util/table.h"
+
+using namespace drlnoc;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: scenarioctl <validate|describe|run> file=X "
+               "[key=value...]\n"
+               "  validate file=X\n"
+               "  describe file=X\n"
+               "  run      file=X [cycle_limit=N] [duration=T] [seed=S]\n";
+  return 2;
+}
+
+void describe_tenants(const scenario::Scenario& s) {
+  util::Table tab({"tenant", "workload", "detail", "nodes", "window"});
+  for (const scenario::TenantSpec& t : s.tenants) {
+    std::string detail;
+    switch (t.kind) {
+      case scenario::WorkloadKind::kTrace:
+        detail = t.trace_file + " x" + util::fmt(t.rate_scale, 2) +
+                 (t.loop ? " loop" : "") + " (" +
+                 std::to_string(t.trace->records.size()) + " rec)";
+        break;
+      case scenario::WorkloadKind::kSteady:
+        detail = t.pattern + "/" + t.process + " @" + util::fmt(t.rate, 4);
+        break;
+      case scenario::WorkloadKind::kPhased:
+        detail = t.phases.empty()
+                     ? "standard x" + util::fmt(t.phase_scale, 2)
+                     : std::to_string(t.phases.size()) + " phases";
+        break;
+    }
+    const std::string window =
+        util::fmt(t.start, 0) + ".." +
+        (std::isinf(t.stop) ? std::string("inf") : util::fmt(t.stop, 0));
+    tab.row()
+        .cell(t.name)
+        .cell(scenario::to_string(t.kind))
+        .cell(detail)
+        .cell(scenario::format_node_set(t.nodes))
+        .cell(window);
+  }
+  tab.print(std::cout);
+}
+
+int cmd_validate(const util::Config& cfg) {
+  const std::string path = cfg.get("file", std::string());
+  if (path.empty()) return usage();
+  const scenario::Scenario s = scenario::ScenarioReader::read_file(path);
+  std::cout << "OK: " << path << " (scenario '" << s.name << "', "
+            << s.net.topology << " " << s.net.width << "x" << s.net.height
+            << ", " << s.tenants.size() << " tenant"
+            << (s.tenants.size() == 1 ? "" : "s") << ")\n";
+  return 0;
+}
+
+int cmd_describe(const util::Config& cfg) {
+  const std::string path = cfg.get("file", std::string());
+  if (path.empty()) return usage();
+  const scenario::Scenario s = scenario::ScenarioReader::read_file(path);
+  std::cout << "scenario: " << s.name << "\n"
+            << "  fabric      " << s.net.topology << " " << s.net.width << "x"
+            << s.net.height << ", routing " << s.net.routing << ", seed "
+            << s.net.seed << "\n"
+            << "  duration    "
+            << (s.duration > 0.0 ? util::fmt(s.duration, 0) + " core cycles"
+                                 : std::string("until tenants finish"))
+            << "\n"
+            << "  cycle_limit " << s.cycle_limit << "\n\n";
+  describe_tenants(s);
+  return 0;
+}
+
+int cmd_run(const util::Config& cfg) {
+  const std::string path = cfg.get("file", std::string());
+  if (path.empty()) return usage();
+  scenario::Scenario s = scenario::ScenarioReader::read_file(path);
+  s.cycle_limit = static_cast<std::uint64_t>(
+      cfg.get("cycle_limit", static_cast<long long>(s.cycle_limit)));
+  s.duration = cfg.get("duration", s.duration);
+  s.net.seed = static_cast<std::uint64_t>(
+      cfg.get("seed", static_cast<long long>(s.net.seed)));
+  s.validate();  // overrides may have broken the horizon invariant
+
+  const scenario::ScenarioRunResult r = scenario::run_scenario(s);
+  std::cout << "ran '" << s.name << "' on " << s.net.topology << " "
+            << s.net.width << "x" << s.net.height << ": "
+            << r.cycles << " router cycles, "
+            << util::fmt(r.stats.core_cycles, 0) << " core cycles"
+            << (r.completed ? "" : "  [HIT CYCLE LIMIT]") << "\n\n";
+
+  util::Table agg({"metric", "value"});
+  agg.row().cell("packets").cell(
+      static_cast<long long>(r.stats.packets_received));
+  agg.row().cell("avg_latency").cell(r.stats.avg_latency, 2);
+  agg.row().cell("p95_latency").cell(r.stats.p95_latency, 2);
+  agg.row().cell("avg_hops").cell(r.stats.avg_hops, 2);
+  agg.row().cell("energy_pJ").cell(r.stats.total_energy_pj(), 1);
+  agg.print(std::cout);
+
+  std::cout << "\nper-tenant:\n";
+  util::Table tab({"tenant", "offered", "delivered", "flits", "avg_lat",
+                   "p95_lat", "thru(pkt/node/cyc)", "energy_pJ"});
+  for (const scenario::TenantReport& t :
+       scenario::tenant_reports(s, r.stats)) {
+    tab.row()
+        .cell(t.name)
+        .cell(static_cast<long long>(t.packets_offered))
+        .cell(static_cast<long long>(t.packets_received))
+        .cell(static_cast<long long>(t.flits_ejected))
+        .cell(t.avg_latency, 2)
+        .cell(t.p95_latency, 2)
+        .cell(t.throughput, 5)
+        .cell(t.energy_share_pj, 1);
+  }
+  tab.print(std::cout);
+  return r.completed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const util::Config cfg = util::Config::from_args(argc - 1, argv + 1);
+    if (command == "validate") return cmd_validate(cfg);
+    if (command == "describe") return cmd_describe(cfg);
+    if (command == "run") return cmd_run(cfg);
+    std::cerr << "scenarioctl: unknown command '" << command << "'\n";
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "scenarioctl: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,6 +1,7 @@
 // tracectl: inspect, convert, generate, and replay application traces.
 //
 //   tracectl info file=app.drltrc [show=8]
+//   tracectl stats file=app.drltrc [top=8]
 //   tracectl convert in=app.drltrc out=app.drltrb
 //   tracectl generate kind=dnn|allreduce|alltoall out=app.drltrc [nodes=16 ...]
 //   tracectl replay file=app.drltrc [size=4] [topology=mesh] [scale=1.0]
@@ -10,8 +11,11 @@
 // src/trace/trace_io.h; `generate` parameters mirror the structs in
 // src/trace/generators.h (layers=, tiles=, batches=, rounds=, flits=,
 // compute=, interval=).
+#include <algorithm>
 #include <iostream>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "noc/network.h"
 #include "trace/generators.h"
@@ -25,8 +29,11 @@ using namespace drlnoc;
 namespace {
 
 int usage() {
-  std::cerr << "usage: tracectl <info|convert|generate|replay> key=value...\n"
+  std::cerr << "usage: tracectl <info|stats|convert|generate|replay> "
+               "key=value...\n"
                "  info     file=X [show=N]\n"
+               "  stats    file=X [top=N]        (per-node histograms + "
+               "dependency depth)\n"
                "  convert  in=X out=Y            (.drltrc text, .drltrb "
                "binary)\n"
                "  generate kind=dnn|allreduce|alltoall out=X [nodes=16]\n"
@@ -73,6 +80,94 @@ int cmd_info(const util::Config& cfg) {
     }
     tab.print(std::cout);
   }
+  return 0;
+}
+
+/// Per-source/per-destination packet and flit histograms plus a
+/// dependency-depth summary (depth = longest predecessor chain; roots are
+/// depth 0) — the quick shape check before replaying an unfamiliar trace.
+int cmd_stats(const util::Config& cfg) {
+  const std::string path = cfg.get("file", std::string());
+  if (path.empty()) return usage();
+  const trace::Trace t = trace::TraceReader::read_file(path);
+
+  struct NodeCounts {
+    std::uint64_t pkts_out = 0, flits_out = 0;
+    std::uint64_t pkts_in = 0, flits_in = 0;
+  };
+  std::vector<NodeCounts> nodes(static_cast<std::size_t>(t.nodes));
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(t.records.size());
+  std::vector<std::uint32_t> depth(t.records.size(), 0);
+  std::uint32_t max_depth = 0;
+  double depth_sum = 0.0;
+  for (std::size_t i = 0; i < t.records.size(); ++i) {
+    const trace::TraceRecord& r = t.records[i];
+    const auto flits = static_cast<std::uint64_t>(
+        r.length > 0 ? r.length : t.default_length);
+    nodes[static_cast<std::size_t>(r.src)].pkts_out += 1;
+    nodes[static_cast<std::size_t>(r.src)].flits_out += flits;
+    nodes[static_cast<std::size_t>(r.dst)].pkts_in += 1;
+    nodes[static_cast<std::size_t>(r.dst)].flits_in += flits;
+    for (std::uint64_t dep : r.deps) {
+      // validate() guarantees deps were declared earlier.
+      depth[i] = std::max(depth[i], depth[index.at(dep)] + 1);
+    }
+    index.emplace(r.id, i);
+    max_depth = std::max(max_depth, depth[i]);
+    depth_sum += static_cast<double>(depth[i]);
+  }
+
+  const trace::TraceSummary s = t.summary();
+  std::cout << "trace: " << path << " (" << s.records << " records, "
+            << t.nodes << " nodes, " << s.dep_edges << " dep edges)\n\n";
+
+  std::vector<int> order(static_cast<std::size_t>(t.nodes));
+  for (int i = 0; i < t.nodes; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&nodes](int a, int b) {
+    const NodeCounts& x = nodes[static_cast<std::size_t>(a)];
+    const NodeCounts& y = nodes[static_cast<std::size_t>(b)];
+    const std::uint64_t xa = x.pkts_out + x.pkts_in;
+    const std::uint64_t ya = y.pkts_out + y.pkts_in;
+    return xa != ya ? xa > ya : a < b;
+  });
+  int top = cfg.get("top", 8);
+  if (top <= 0 || top > t.nodes) top = t.nodes;
+  std::cout << "busiest " << top << " of " << t.nodes
+            << " nodes (pass top=0 for all):\n";
+  util::Table per_node({"node", "pkts_out", "flits_out", "pkts_in",
+                        "flits_in"});
+  for (int k = 0; k < top; ++k) {
+    const int n = order[static_cast<std::size_t>(k)];
+    const NodeCounts& c = nodes[static_cast<std::size_t>(n)];
+    per_node.row()
+        .cell(n)
+        .cell(static_cast<long long>(c.pkts_out))
+        .cell(static_cast<long long>(c.flits_out))
+        .cell(static_cast<long long>(c.pkts_in))
+        .cell(static_cast<long long>(c.flits_in));
+  }
+  per_node.print(std::cout);
+
+  std::cout << "\ndependency depth (longest predecessor chain; roots are "
+               "depth 0):\n"
+            << "  max  " << max_depth << "\n"
+            << "  mean "
+            << util::fmt(t.records.empty()
+                             ? 0.0
+                             : depth_sum /
+                                   static_cast<double>(t.records.size()),
+                         2)
+            << "\n";
+  std::vector<std::uint64_t> per_depth(max_depth + 1, 0);
+  for (std::uint32_t d : depth) ++per_depth[d];
+  util::Table dep_tab({"depth", "records"});
+  for (std::size_t d = 0; d < per_depth.size(); ++d) {
+    dep_tab.row()
+        .cell(static_cast<long long>(d))
+        .cell(static_cast<long long>(per_depth[d]));
+  }
+  dep_tab.print(std::cout);
   return 0;
 }
 
@@ -180,6 +275,7 @@ int main(int argc, char** argv) {
   try {
     const util::Config cfg = util::Config::from_args(argc - 1, argv + 1);
     if (command == "info") return cmd_info(cfg);
+    if (command == "stats") return cmd_stats(cfg);
     if (command == "convert") return cmd_convert(cfg);
     if (command == "generate") return cmd_generate(cfg);
     if (command == "replay") return cmd_replay(cfg);
