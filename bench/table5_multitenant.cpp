@@ -36,38 +36,17 @@ struct TenantCi {
 std::vector<TenantCi> tenant_cis(const core::ReplicationResult& rep,
                                  std::size_t num_tenants) {
   std::vector<TenantCi> out(num_tenants);
-  const auto n = static_cast<double>(rep.replicas.size());
-  if (rep.replicas.empty()) return out;
   for (std::size_t t = 0; t < num_tenants; ++t) {
-    double mean_l = 0.0, mean_p = 0.0, mean_a = 0.0;
+    std::vector<double> lat, p95, thru;
     for (const core::Replica& r : rep.replicas) {
       const core::TenantEpisodeSummary& s = r.result.tenants[t];
-      mean_l += s.mean_latency;
-      mean_p += s.p95_latency;
-      mean_a += s.accepted_rate;
+      lat.push_back(s.mean_latency);
+      p95.push_back(s.p95_latency);
+      thru.push_back(s.accepted_rate);
     }
-    mean_l /= n;
-    mean_p /= n;
-    mean_a /= n;
-    double var_l = 0.0, var_p = 0.0, var_a = 0.0;
-    for (const core::Replica& r : rep.replicas) {
-      const core::TenantEpisodeSummary& s = r.result.tenants[t];
-      var_l += (s.mean_latency - mean_l) * (s.mean_latency - mean_l);
-      var_p += (s.p95_latency - mean_p) * (s.p95_latency - mean_p);
-      var_a += (s.accepted_rate - mean_a) * (s.accepted_rate - mean_a);
-    }
-    const auto finish = [n](double mean, double var) {
-      core::MetricSummary m;
-      m.mean = mean;
-      if (n >= 2.0) {
-        m.stddev = std::sqrt(var / (n - 1.0));
-        m.ci95 = 1.96 * m.stddev / std::sqrt(n);
-      }
-      return m;
-    };
-    out[t].latency = finish(mean_l, var_l);
-    out[t].p95 = finish(mean_p, var_p);
-    out[t].throughput = finish(mean_a, var_a);
+    out[t].latency = bench::summarize_metric(lat);
+    out[t].p95 = bench::summarize_metric(p95);
+    out[t].throughput = bench::summarize_metric(thru);
   }
   return out;
 }

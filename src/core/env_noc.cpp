@@ -26,6 +26,42 @@ NocEnvParams resolve_scenario(NocEnvParams p) {
     const std::uint64_t seed = p.net.seed;
     p.net = p.scenario->net;
     p.net.seed = seed;
+    // QoS annotations switch reward + features into tenant-aware mode.
+    // Explicitly provided reward.tenant_qos wins over the scenario's.
+    if (p.scenario_qos && p.reward.tenant_qos.empty() &&
+        p.scenario->has_qos()) {
+      p.reward.tenant_qos.reserve(p.scenario->tenants.size());
+      for (const scenario::TenantSpec& t : p.scenario->tenants) {
+        TenantQosSpec q;
+        switch (t.qos) {
+          case scenario::QosClass::kLatencyCritical:
+            q.cls = TenantQosClass::kLatencyCritical;
+            break;
+          case scenario::QosClass::kBestEffort:
+            q.cls = TenantQosClass::kBestEffort;
+            break;
+          case scenario::QosClass::kBackground:
+            q.cls = TenantQosClass::kBackground;
+            break;
+        }
+        q.p95_target = t.p95_target;
+        p.reward.tenant_qos.push_back(q);
+      }
+    }
+  }
+  if (!p.reward.tenant_qos.empty()) {
+    if (!p.scenario) {
+      throw std::invalid_argument(
+          "NocEnvParams: reward.tenant_qos requires a scenario (only "
+          "scenario episodes carry per-tenant epoch slices)");
+    }
+    if (p.reward.tenant_qos.size() != p.scenario->tenants.size()) {
+      throw std::invalid_argument(
+          "NocEnvParams: reward.tenant_qos describes " +
+          std::to_string(p.reward.tenant_qos.size()) +
+          " tenants but the scenario has " +
+          std::to_string(p.scenario->tenants.size()));
+    }
   }
   return p;
 }
@@ -33,7 +69,8 @@ NocEnvParams resolve_scenario(NocEnvParams p) {
 
 NocConfigEnv::NocConfigEnv(NocEnvParams params)
     : params_(resolve_scenario(std::move(params))),
-      features_(params_.actions, params_.net.width * params_.net.height),
+      features_(params_.actions, params_.net.width * params_.net.height,
+                FeatureParams{}, params_.reward.tenant_qos),
       reward_(params_.reward) {
   // Validate the action space against the hardware limits.
   for (int a = 0; a < params_.actions.size(); ++a) {

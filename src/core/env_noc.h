@@ -40,6 +40,12 @@ struct NocEnvParams {
   /// workload is the deterministic composite of the scenario's tenants, and
   /// epoch stats carry per-tenant slices. Mutually exclusive with `trace`.
   std::shared_ptr<const scenario::Scenario> scenario{};
+  /// When true (default) a scenario's per-tenant QoS annotations switch the
+  /// reward and feature extractor into tenant-aware mode (reward.tenant_qos
+  /// is filled from the scenario unless already set). False ignores the
+  /// annotations — the aggregate objective, i.e. the DRL-aggregate ablation
+  /// in bench/table6_qos. QoS-free scenarios behave identically either way.
+  bool scenario_qos = true;
   std::uint64_t epoch_cycles = 512;  ///< router cycles per epoch
   int epochs_per_episode = 48;
   RewardParams reward{};

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <utility>
 
 namespace drlnoc::core {
 
@@ -11,13 +13,15 @@ double soft(double x, double scale) { return x <= 0.0 ? 0.0 : x / (x + scale); }
 }  // namespace
 
 FeatureExtractor::FeatureExtractor(const ActionSpace& space, int num_nodes,
-                                   FeatureParams params)
+                                   FeatureParams params,
+                                   std::vector<TenantQosSpec> tenant_qos)
     : space_(space), num_nodes_(num_nodes), params_(params),
+      tenant_qos_(std::move(tenant_qos)),
       load_ewma_(params.ewma_alpha), latency_ewma_(params.ewma_alpha) {}
 
 std::size_t FeatureExtractor::state_size() const {
   return 10 + space_.vc_options().size() + space_.depth_options().size() +
-         space_.dvfs_options().size();
+         space_.dvfs_options().size() + 3 * tenant_qos_.size();
 }
 
 std::vector<std::string> FeatureExtractor::feature_names() const {
@@ -31,6 +35,12 @@ std::vector<std::string> FeatureExtractor::feature_names() const {
     names.push_back("cfg_depth" + std::to_string(d));
   for (int f : space_.dvfs_options())
     names.push_back("cfg_dvfs" + std::to_string(f));
+  for (std::size_t i = 0; i < tenant_qos_.size(); ++i) {
+    const std::string p = "t" + std::to_string(i) + "_";
+    names.push_back(p + "share");
+    names.push_back(p + "p95");
+    names.push_back(p + "shortfall");
+  }
   return names;
 }
 
@@ -73,6 +83,41 @@ rl::State FeatureExtractor::extract(const noc::EpochStats& stats) {
     s.push_back(stats.config.active_depth == d ? 1.0 : 0.0);
   for (int f : space_.dvfs_options())
     s.push_back(stats.config.dvfs_level == f ? 1.0 : 0.0);
+
+  if (!tenant_qos_.empty()) {
+    if (stats.tenants.size() != tenant_qos_.size()) {
+      throw std::invalid_argument(
+          "features: QoS mode describes " +
+          std::to_string(tenant_qos_.size()) +
+          " tenants but the epoch carries " +
+          std::to_string(stats.tenants.size()) + " tenant slices");
+    }
+    for (std::size_t i = 0; i < tenant_qos_.size(); ++i) {
+      const TenantQosSpec& q = tenant_qos_[i];
+      const noc::TenantEpochStats& ts = stats.tenants[i];
+      // Share of the offered traffic this tenant accounts for.
+      const double share =
+          stats.packets_offered > 0
+              ? static_cast<double>(ts.packets_offered) /
+                    static_cast<double>(stats.packets_offered)
+              : 0.0;
+      s.push_back(clamp01(share));
+      // Latency-critical tenants report p95 relative to the SLO (0.5 at the
+      // target, saturating at 2x); others squash on the shared soft scale.
+      if (q.cls == TenantQosClass::kLatencyCritical) {
+        s.push_back(clamp01(ts.p95_latency / (2.0 * q.p95_target)));
+      } else {
+        s.push_back(soft(ts.p95_latency, params_.latency_soft));
+      }
+      // Delivery shortfall: offered-but-undelivered fraction this epoch.
+      const double shortfall =
+          ts.packets_offered > 0
+              ? 1.0 - static_cast<double>(ts.packets_received) /
+                          static_cast<double>(ts.packets_offered)
+              : 0.0;
+      s.push_back(clamp01(shortfall));
+    }
+  }
   return s;
 }
 

@@ -2,12 +2,19 @@
 // configuration into the normalized feature vector the agents consume.
 // Every feature is squashed into [0, 1] (the tabular baseline bins on that
 // range, and bounded inputs keep the MLP well-conditioned).
+//
+// Tenant-aware mode: constructed with per-tenant QoS specs, the extractor
+// appends three features per tenant (traffic share, SLO-relative p95,
+// delivery shortfall) read from EpochStats.tenants, so the agent sees *who*
+// is suffering, not just that someone is. Without specs the vector is
+// unchanged from the pre-QoS layout.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "core/action_space.h"
+#include "core/reward.h"
 #include "noc/network.h"
 #include "rl/env.h"
 #include "util/stats.h"
@@ -24,8 +31,11 @@ struct FeatureParams {
 
 class FeatureExtractor {
  public:
+  /// `tenant_qos` non-empty switches on the per-tenant slices; extract()
+  /// then requires one EpochStats tenant entry per spec.
   FeatureExtractor(const ActionSpace& space, int num_nodes,
-                   FeatureParams params = {});
+                   FeatureParams params = {},
+                   std::vector<TenantQosSpec> tenant_qos = {});
 
   /// Feature vector length (fixed for a given action space).
   std::size_t state_size() const;
@@ -41,6 +51,7 @@ class FeatureExtractor {
   const ActionSpace& space_;
   int num_nodes_;
   FeatureParams params_;
+  std::vector<TenantQosSpec> tenant_qos_;
   util::Ewma load_ewma_;
   util::Ewma latency_ewma_;
   double prev_offered_norm_ = 0.0;

@@ -52,6 +52,7 @@ EpisodeResult evaluate(NocConfigEnv& env, Controller& controller,
       out.tenants.resize(stats.tenants.size());
       tenant_latency_weighted.resize(stats.tenants.size(), 0.0);
       tenant_measured.resize(stats.tenants.size(), 0);
+      const scenario::Scenario* scn = env.params().scenario.get();
       for (std::size_t i = 0; i < stats.tenants.size(); ++i) {
         const noc::TenantEpochStats& ts = stats.tenants[i];
         TenantEpisodeSummary& sum = out.tenants[i];
@@ -62,6 +63,21 @@ EpisodeResult evaluate(NocConfigEnv& env, Controller& controller,
         tenant_latency_weighted[i] +=
             ts.avg_latency * static_cast<double>(ts.packets_measured);
         tenant_measured[i] += ts.packets_measured;
+        // SLO accounting against the scenario's declared target (if any) —
+        // independent of whether the reward runs in QoS mode, so the
+        // DRL-aggregate ablation reports hit rates too.
+        const double target =
+            scn && i < scn->tenants.size() ? scn->tenants[i].p95_target : 0.0;
+        // An epoch counts when the tenant had traffic; starvation (offered
+        // but nothing measured) is a miss, matching the reward path's
+        // full-violation convention — only truly idle epochs are excused.
+        if (target > 0.0 &&
+            (ts.packets_measured > 0 || ts.packets_offered > 0)) {
+          ++sum.slo_epochs;
+          if (ts.packets_measured > 0 && ts.p95_latency <= target) {
+            ++sum.slo_hits;
+          }
+        }
       }
     }
     if (keep_epochs) out.epochs.push_back(stats);
@@ -89,6 +105,10 @@ EpisodeResult evaluate(NocConfigEnv& env, Controller& controller,
         node_cycles > 0.0
             ? static_cast<double>(sum.packets_received) / node_cycles
             : 0.0;
+    sum.slo_hit_rate =
+        sum.slo_epochs > 0 ? static_cast<double>(sum.slo_hits) /
+                                 static_cast<double>(sum.slo_epochs)
+                           : 1.0;
   }
   return out;
 }

@@ -25,6 +25,14 @@ struct TenantEpisodeSummary {
   double mean_latency = 0.0;   ///< packet-weighted over measured deliveries
   double p95_latency = 0.0;    ///< max epoch p95 (worst window)
   double accepted_rate = 0.0;  ///< delivered packets / node / core-cycle
+  // SLO accounting, populated when the scenario gives this tenant a
+  // p95_target (latency-critical): an epoch counts when the tenant had
+  // traffic (offered or measured), and hits when it had measured
+  // deliveries whose p95 met the target — so a starved tenant scores
+  // misses, matching the reward's full-violation convention.
+  std::uint64_t slo_epochs = 0;  ///< epochs with traffic (target set)
+  std::uint64_t slo_hits = 0;    ///< of those, epochs with p95 <= target
+  double slo_hit_rate = 1.0;     ///< hits/epochs; 1 when no target or idle
 };
 
 /// Aggregate metrics for one evaluated episode.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
 #include "nn/loss.h"
 
@@ -207,7 +208,11 @@ double DqnAgent::learn() {
 void DqnAgent::save(std::ostream& os) const { online_.save(os); }
 
 void DqnAgent::load_weights(std::istream& is) {
-  online_ = nn::Mlp::load(is);
+  load_weights(nn::Mlp::load(is));
+}
+
+void DqnAgent::load_weights(nn::Mlp net) {
+  online_ = std::move(net);
   target_.copy_weights_from(online_);
 }
 

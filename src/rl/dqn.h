@@ -68,6 +68,9 @@ class DqnAgent {
 
   void save(std::ostream& os) const;
   void load_weights(std::istream& is);
+  /// Adopts an already-deserialized policy network (e.g. one probed for
+  /// dimension checks) as the online net; the target net is synced to it.
+  void load_weights(nn::Mlp net);
 
  private:
   /// Folds the n-step window into aggregated transitions pushed to replay.

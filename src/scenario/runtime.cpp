@@ -1,11 +1,16 @@
 #include "scenario/runtime.h"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "core/controller.h"
+#include "core/env_noc.h"
+#include "nn/layers.h"
 #include "noc/topology.h"
 #include "noc/traffic.h"
+#include "rl/dqn.h"
 
 namespace drlnoc::scenario {
 
@@ -116,6 +121,74 @@ ScenarioRunResult run_scenario(const Scenario& scenario) {
   p.cycle_limit = scenario.cycle_limit;
   p.duration = scenario.duration;
   return run_scenario(*net, *workload, p);
+}
+
+std::unique_ptr<core::Controller> build_scheduled_controller(
+    const Scenario& scenario, const core::NocConfigEnv& env) {
+  const ControllerSchedule& ctl = scenario.controller;
+  if (!ctl.scheduled()) {
+    throw std::invalid_argument(
+        "scenario: no controller schedule (add a [controller] block)");
+  }
+  if (ctl.type == "static-max") {
+    return core::StaticController::maximal(env.actions());
+  }
+  if (ctl.type == "static-min") {
+    return core::StaticController::minimal(env.actions());
+  }
+  if (ctl.type == "heuristic") {
+    core::HeuristicParams hp;
+    hp.num_nodes = scenario.net.width * scenario.net.height;
+    return std::make_unique<core::HeuristicController>(env.actions(), hp);
+  }
+  if (ctl.type == "drl") {
+    // Probe the policy's architecture first for a diagnosable mismatch
+    // (DqnAgent::load_weights would adopt whatever the blob holds).
+    std::istringstream probe_in(ctl.policy_blob);
+    nn::Mlp probe;
+    try {
+      probe = nn::Mlp::load(probe_in);
+    } catch (const std::exception& e) {
+      throw std::invalid_argument(
+          "scenario: controller policy is not a DqnAgent::save artifact (" +
+          std::string(e.what()) + ")");
+    }
+    if (probe.input_size() != env.state_size() ||
+        probe.output_size() != static_cast<std::size_t>(env.num_actions())) {
+      throw std::invalid_argument(
+          "scenario: controller policy expects state " +
+          std::to_string(probe.input_size()) + " / actions " +
+          std::to_string(probe.output_size()) +
+          " but the environment has state " +
+          std::to_string(env.state_size()) + " / actions " +
+          std::to_string(env.num_actions()) +
+          " (was the policy trained with the same QoS annotations?)");
+    }
+    auto agent = std::make_unique<rl::DqnAgent>(
+        env.state_size(), env.num_actions(), rl::DqnParams{});
+    // Install the probed network itself, so the weights that were
+    // dimension-checked are exactly the weights that run.
+    agent->load_weights(std::move(probe));
+    return std::make_unique<core::OwningDrlController>(
+        env.actions(), std::move(agent), "drl[" + ctl.policy_file + "]");
+  }
+  throw std::invalid_argument("scenario: unknown controller type '" +
+                              ctl.type + "'");
+}
+
+ScheduledRunResult run_scheduled(const Scenario& scenario) {
+  scenario.validate();
+  core::NocEnvParams ep;
+  ep.scenario = std::make_shared<Scenario>(scenario);
+  ep.net.seed = scenario.net.seed;  // standalone runs use the scenario seed
+  ep.epoch_cycles = scenario.controller.epoch_cycles;
+  ep.epochs_per_episode = scenario.controller.epochs;
+  core::NocConfigEnv env(ep);
+  const auto controller = build_scheduled_controller(scenario, env);
+  ScheduledRunResult out;
+  out.episode = core::evaluate(env, *controller);
+  out.power_ref_mw = env.power_ref_mw();
+  return out;
 }
 
 std::vector<TenantReport> tenant_reports(const Scenario& scenario,

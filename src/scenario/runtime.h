@@ -1,14 +1,17 @@
 // Scenario runtime: turns a Scenario description into live simulation
 // objects (Network + CompositeWorkload), runs it to completion with
-// per-tenant accounting, and derives per-tenant reports from epoch
-// statistics. This is the layer scenarioctl, traffic_explorer and the
-// multi-tenant benches share.
+// per-tenant accounting, derives per-tenant reports from epoch statistics,
+// and executes scenario-level controller schedules ([controller] blocks) so
+// `scenarioctl run` can replay controller-vs-workload paper rows without
+// the bench binaries. This is the layer scenarioctl, traffic_explorer and
+// the multi-tenant benches share.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/trainer.h"
 #include "scenario/composite_workload.h"
 #include "scenario/scenario.h"
 
@@ -69,5 +72,27 @@ struct TenantReport {
 /// proportionally to ejected flits.
 std::vector<TenantReport> tenant_reports(const Scenario& scenario,
                                          const noc::EpochStats& stats);
+
+// --- controller schedules ---------------------------------------------------
+
+/// Builds the controller named by `scenario.controller` against `env`'s
+/// action space. DRL schedules deserialize the policy blob (DqnAgent::save
+/// output) and validate its dimensions against the environment. Throws
+/// std::invalid_argument when no schedule is set or the policy does not fit
+/// the environment's state/action sizes.
+std::unique_ptr<core::Controller> build_scheduled_controller(
+    const Scenario& scenario, const core::NocConfigEnv& env);
+
+/// Result of running a scenario under its controller schedule.
+struct ScheduledRunResult {
+  core::EpisodeResult episode;  ///< per-tenant summaries incl. SLO hit rates
+  double power_ref_mw = 0.0;    ///< the reward's auto-calibrated normalizer
+};
+
+/// Runs the scenario under its [controller] schedule: `controller.epochs`
+/// epochs of `controller.epoch_cycles` router cycles, the scheduled
+/// controller reconfiguring the fabric between epochs, per-tenant QoS
+/// objectives active when the scenario declares them.
+ScheduledRunResult run_scheduled(const Scenario& scenario);
 
 }  // namespace drlnoc::scenario

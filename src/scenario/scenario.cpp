@@ -16,6 +16,24 @@ std::string to_string(WorkloadKind kind) {
   return "?";
 }
 
+std::string to_string(QosClass cls) {
+  switch (cls) {
+    case QosClass::kLatencyCritical: return "latency_critical";
+    case QosClass::kBestEffort: return "best_effort";
+    case QosClass::kBackground: return "background";
+  }
+  return "?";
+}
+
+QosClass parse_qos_class(const std::string& text) {
+  if (text == "latency_critical") return QosClass::kLatencyCritical;
+  if (text == "best_effort") return QosClass::kBestEffort;
+  if (text == "background") return QosClass::kBackground;
+  throw std::invalid_argument(
+      "scenario: qos must be latency_critical|best_effort|background, got '" +
+      text + "'");
+}
+
 namespace {
 
 [[noreturn]] void fail(const std::string& what) {
@@ -40,6 +58,15 @@ void validate_tenant(const TenantSpec& t, int num_nodes, int index) {
     if (!seen.insert(n).second) {
       fail(who + "node " + std::to_string(n) + " listed twice");
     }
+  }
+
+  if (t.qos == QosClass::kLatencyCritical) {
+    if (!(t.p95_target > 0.0) || !std::isfinite(t.p95_target)) {
+      fail(who + "latency_critical requires a finite p95_target > 0 "
+           "core cycles (got " + std::to_string(t.p95_target) + ")");
+    }
+  } else if (t.p95_target != 0.0) {
+    fail(who + "p95_target is only meaningful for latency_critical tenants");
   }
 
   switch (t.kind) {
@@ -82,7 +109,38 @@ void validate_tenant(const TenantSpec& t, int num_nodes, int index) {
   }
 }
 
+void validate_controller(const ControllerSchedule& c) {
+  if (!c.scheduled()) {
+    if (!c.policy_file.empty() || !c.policy_blob.empty()) {
+      fail("controller policy set without a controller type");
+    }
+    return;
+  }
+  if (c.type != "drl" && c.type != "heuristic" && c.type != "static-max" &&
+      c.type != "static-min") {
+    fail("controller type must be drl|heuristic|static-max|static-min, "
+         "got '" + c.type + "'");
+  }
+  if (c.type == "drl") {
+    if (c.policy_blob.empty()) {
+      fail("drl controller schedule requires a trained policy "
+           "(controller.policy = <file saved with DqnAgent::save>)");
+    }
+  } else if (!c.policy_file.empty() || !c.policy_blob.empty()) {
+    fail("controller policy is only meaningful for drl schedules");
+  }
+  if (c.epoch_cycles == 0) fail("controller epoch_cycles must be > 0");
+  if (c.epochs <= 0) fail("controller epochs must be > 0");
+}
+
 }  // namespace
+
+bool Scenario::has_qos() const {
+  for (const TenantSpec& t : tenants) {
+    if (t.qos != QosClass::kBestEffort) return true;
+  }
+  return false;
+}
 
 void Scenario::validate() const {
   if (tenants.empty()) fail("no tenants");
@@ -94,6 +152,7 @@ void Scenario::validate() const {
   for (std::size_t i = 0; i < tenants.size(); ++i) {
     validate_tenant(tenants[i], num_nodes, static_cast<int>(i));
   }
+  validate_controller(controller);
   if (duration == 0.0) {
     // Without a horizon the run ends when every tenant finishes; an
     // open-ended synthetic tenant would spin to the cycle limit. Looping

@@ -27,6 +27,35 @@ enum class WorkloadKind {
 
 std::string to_string(WorkloadKind kind);
 
+/// QoS class of a tenant: how the tenant-aware reward treats its epoch
+/// slice (see core/reward.h). QoS annotations never change the generated
+/// traffic — only the objective and the agent's observation.
+enum class QosClass {
+  kLatencyCritical,  ///< protect: p95 SLO target required (p95_target)
+  kBestEffort,       ///< default: no extra shaping
+  kBackground,       ///< squeeze: energy credit for throttling its traffic
+};
+
+std::string to_string(QosClass cls);
+/// Parses "latency_critical" | "best_effort" | "background"; throws
+/// std::invalid_argument on anything else.
+QosClass parse_qos_class(const std::string& text);
+
+/// Scenario-level controller schedule: the controller that reconfigures the
+/// fabric when the scenario runs standalone (`scenarioctl run`), so paper
+/// rows replay from one `.drlsc` artifact without the bench binaries.
+/// `drl` schedules name a trained-policy file (DqnAgent::save output),
+/// loaded eagerly like tenant traces so a parsed scenario is self-contained.
+struct ControllerSchedule {
+  std::string type;  ///< "" = none; drl | heuristic | static-max | static-min
+  std::string policy_file;  ///< provenance (drl), relative to the .drlsc
+  std::string policy_blob;  ///< trained-policy bytes, loaded eagerly
+  std::uint64_t epoch_cycles = 512;  ///< router cycles between decisions
+  int epochs = 48;                   ///< decision epochs per scheduled run
+
+  bool scheduled() const { return !type.empty(); }
+};
+
 /// One tenant of a scenario.
 ///
 /// Node semantics: `nodes` empty means the whole fabric. For trace tenants a
@@ -59,6 +88,12 @@ struct TenantSpec {
   std::vector<noc::NodeId> nodes;   ///< empty = all nodes
   double start = 0.0;
   double stop = std::numeric_limits<double>::infinity();
+
+  // QoS (reward shaping + per-tenant observation; no effect on traffic).
+  QosClass qos = QosClass::kBestEffort;
+  /// p95 latency SLO in core cycles; required (> 0) for latency-critical
+  /// tenants and must stay 0 for every other class.
+  double p95_target = 0.0;
 };
 
 /// A complete multi-tenant experiment description.
@@ -71,15 +106,24 @@ struct Scenario {
   double duration = 0.0;
   /// Router-cycle safety limit for scenario runs.
   std::uint64_t cycle_limit = 2000000;
+  /// Optional controller schedule for standalone runs ([controller] block).
+  ControllerSchedule controller{};
 
   int num_tenants() const { return static_cast<int>(tenants.size()); }
+  /// True when any tenant departs from the default best-effort class; only
+  /// then does the RL environment switch reward/features into QoS mode, so
+  /// QoS-free scenarios stay bit-identical to pre-QoS behavior.
+  bool has_qos() const;
 
   /// Throws std::invalid_argument on malformed scenarios: no tenants,
   /// nonpositive/nonfinite rates or rate scales, inverted windows, node ids
   /// out of range or duplicated within a tenant, trace placements that do
   /// not cover the trace, traces addressing more nodes than the fabric has,
-  /// or a scenario with no finite horizon (every tenant open-ended synthetic
-  /// and duration 0 would never terminate).
+  /// a scenario with no finite horizon (every tenant open-ended synthetic
+  /// and duration 0 would never terminate), QoS targets that contradict the
+  /// class (latency-critical without a p95_target, targets on other
+  /// classes), or a controller schedule with an unknown type / a drl
+  /// schedule without a policy.
   void validate() const;
 };
 

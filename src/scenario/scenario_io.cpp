@@ -95,7 +95,43 @@ TenantSpec parse_tenant(const TrackedConfig& c, int index, int num_nodes,
   t.nodes = parse_node_set(c.str(p + "nodes", "all"), num_nodes);
   t.start = c.get(p + "start", t.start);
   t.stop = c.get(p + "stop", t.stop);
+  if (c.has(p + "qos")) t.qos = parse_qos_class(c.str(p + "qos", ""));
+  t.p95_target = c.get(p + "p95_target", t.p95_target);
   return t;
+}
+
+ControllerSchedule parse_controller(const TrackedConfig& c,
+                                    const std::string& base_dir) {
+  ControllerSchedule ctl;
+  ctl.type = c.str("controller.type", "");
+  ctl.policy_file = c.str("controller.policy", "");
+  const long long cycles = c.get("controller.epoch_cycles",
+                                 static_cast<long long>(ctl.epoch_cycles));
+  if (cycles <= 0) {
+    // Checked before the uint64 cast: a negative value would wrap to ~2^64
+    // and pass the ==0 validation, hanging scheduled runs.
+    throw std::invalid_argument(
+        "scenario: controller.epoch_cycles must be > 0, got " +
+        std::to_string(cycles));
+  }
+  ctl.epoch_cycles = static_cast<std::uint64_t>(cycles);
+  ctl.epochs = c.get("controller.epochs", ctl.epochs);
+  if (ctl.type.empty() && !ctl.policy_file.empty()) {
+    throw std::invalid_argument(
+        "scenario: controller.policy set without controller.type");
+  }
+  if (!ctl.policy_file.empty()) {
+    const std::string path = join_path(base_dir, ctl.policy_file);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      throw std::invalid_argument(
+          "scenario: controller policy file not found: " + path);
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    ctl.policy_blob = ss.str();
+  }
+  return ctl;
 }
 
 }  // namespace
@@ -107,6 +143,7 @@ Scenario ScenarioReader::read_text(const std::string& text,
   std::string line;
   std::string rest;
   bool magic_seen = false;
+  bool in_controller = false;
   while (std::getline(in, line)) {
     if (!magic_seen) {
       std::string stripped = line;
@@ -128,7 +165,33 @@ Scenario ScenarioReader::read_text(const std::string& text,
       magic_seen = true;
       continue;
     }
-    rest += line;
+    // Section headers: `[controller]` prefixes every following key with
+    // `controller.` so the block reads like an INI section. Duplicates and
+    // unknown sections are rejected like unknown keys.
+    std::string stripped = line;
+    const auto hash = stripped.find('#');
+    if (hash != std::string::npos) stripped.erase(hash);
+    const auto b = stripped.find_first_not_of(" \t\r");
+    const auto e = stripped.find_last_not_of(" \t\r");
+    if (b != std::string::npos && stripped[b] == '[') {
+      const std::string section = stripped.substr(b, e - b + 1);
+      if (section != "[controller]") {
+        throw std::invalid_argument("scenario: unknown section '" + section +
+                                    "'");
+      }
+      if (in_controller) {
+        throw std::invalid_argument(
+            "scenario: duplicate [controller] block");
+      }
+      in_controller = true;
+      continue;
+    }
+    if (in_controller && b != std::string::npos) {
+      rest += "controller.";
+      rest += stripped.substr(b, e - b + 1);
+    } else {
+      rest += line;
+    }
     rest += '\n';
   }
   if (!magic_seen) {
@@ -169,6 +232,7 @@ Scenario ScenarioReader::read_text(const std::string& text,
   for (int i = 0; i < tenants; ++i) {
     s.tenants.push_back(parse_tenant(c, i, num_nodes, base_dir));
   }
+  s.controller = parse_controller(c, base_dir);
 
   for (const std::string& key : cfg.keys()) {
     if (!consumed.count(key)) {
@@ -256,6 +320,29 @@ void ScenarioWriter::write_text(std::ostream& os, const Scenario& s) {
     os << p << "nodes = " << format_node_set(t.nodes) << "\n";
     os << p << "start = " << t.start << "\n";
     os << p << "stop = " << t.stop << "\n";
+    // QoS lines only when the tenant departs from the default, so QoS-free
+    // scenarios serialise exactly as they did before the QoS extension.
+    if (t.qos != QosClass::kBestEffort) {
+      os << p << "qos = " << to_string(t.qos) << "\n";
+      if (t.qos == QosClass::kLatencyCritical) {
+        os << p << "p95_target = " << t.p95_target << "\n";
+      }
+    }
+  }
+  if (s.controller.scheduled()) {
+    os << "\n[controller]\n";
+    os << "type = " << s.controller.type << "\n";
+    if (s.controller.type == "drl") {
+      if (s.controller.policy_file.empty()) {
+        throw std::invalid_argument(
+            "scenario: the drl controller schedule holds an in-memory "
+            "policy; write it to a file and set policy_file before "
+            "serialising");
+      }
+      os << "policy = " << s.controller.policy_file << "\n";
+    }
+    os << "epoch_cycles = " << s.controller.epoch_cycles << "\n";
+    os << "epochs = " << s.controller.epochs << "\n";
   }
   os.precision(old_precision);
 }

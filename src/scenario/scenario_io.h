@@ -18,15 +18,25 @@
 //   tenant0.trace = dnn.drltrc   # path relative to the scenario file
 //   tenant0.rate_scale = 1.0
 //   tenant0.nodes = 0-15     # node set: "all", ids, inclusive ranges
+//   tenant0.qos = latency_critical   # latency_critical|best_effort|background
+//   tenant0.p95_target = 350         # p95 SLO, core cycles (critical only)
 //   tenant1.name = background
 //   tenant1.workload = steady
 //   tenant1.pattern = uniform
 //   tenant1.rate = 0.04
 //   tenant1.start = 500      # activity window [start, stop) in core cycles
 //   tenant1.stop = 30000
+//   tenant1.qos = background
 //
-// Unknown keys are rejected (typo safety); referenced traces are loaded
-// eagerly so a parsed Scenario is self-contained.
+//   [controller]             # optional: controller schedule for `run`
+//   type = drl               # drl | heuristic | static-max | static-min
+//   policy = mix.policy      # drl only: DqnAgent::save output, relative path
+//   epoch_cycles = 512       # router cycles between controller decisions
+//   epochs = 48              # decision epochs per scheduled run
+//
+// Unknown keys and duplicate/unknown `[...]` sections are rejected (typo
+// safety); referenced traces and policies are loaded eagerly so a parsed
+// Scenario is self-contained.
 #pragma once
 
 #include <iosfwd>

@@ -7,7 +7,13 @@
 // The `.drlsc` format is documented in src/scenario/scenario_io.h. `run`
 // executes the scenario on its fabric and prints aggregate plus per-tenant
 // latency/throughput/energy; the exit code is 0 only when every tenant
-// finished and the fabric drained within the cycle limit.
+// finished and the fabric drained within the cycle limit
+// (cycle_limit=/duration= override the file). When the file carries a
+// [controller] block, `run` instead replays the scenario under that
+// controller schedule (static/heuristic/trained-DRL policy) and reports
+// per-tenant latency and SLO hit rates; scheduled runs are fixed-length
+// policy evaluations (epochs=/epoch_cycles= override the schedule;
+// cycle_limit/duration do not apply) and exit 0 whenever they complete.
 #include <cmath>
 #include <iostream>
 #include <string>
@@ -26,12 +32,13 @@ int usage() {
                "[key=value...]\n"
                "  validate file=X\n"
                "  describe file=X\n"
-               "  run      file=X [cycle_limit=N] [duration=T] [seed=S]\n";
+               "  run      file=X [cycle_limit=N] [duration=T] [seed=S]\n"
+               "           (scheduled: [epochs=N] [epoch_cycles=N])\n";
   return 2;
 }
 
 void describe_tenants(const scenario::Scenario& s) {
-  util::Table tab({"tenant", "workload", "detail", "nodes", "window"});
+  util::Table tab({"tenant", "workload", "detail", "nodes", "window", "qos"});
   for (const scenario::TenantSpec& t : s.tenants) {
     std::string detail;
     switch (t.kind) {
@@ -52,14 +59,27 @@ void describe_tenants(const scenario::Scenario& s) {
     const std::string window =
         util::fmt(t.start, 0) + ".." +
         (std::isinf(t.stop) ? std::string("inf") : util::fmt(t.stop, 0));
+    std::string qos = scenario::to_string(t.qos);
+    if (t.qos == scenario::QosClass::kLatencyCritical) {
+      qos += " p95<=" + util::fmt(t.p95_target, 0);
+    }
     tab.row()
         .cell(t.name)
         .cell(scenario::to_string(t.kind))
         .cell(detail)
         .cell(scenario::format_node_set(t.nodes))
-        .cell(window);
+        .cell(window)
+        .cell(qos);
   }
   tab.print(std::cout);
+  if (s.controller.scheduled()) {
+    std::cout << "\ncontroller: " << s.controller.type
+              << (s.controller.type == "drl"
+                      ? " (policy " + s.controller.policy_file + ")"
+                      : "")
+              << ", " << s.controller.epochs << " epochs x "
+              << s.controller.epoch_cycles << " router cycles\n";
+  }
 }
 
 int cmd_validate(const util::Config& cfg) {
@@ -90,6 +110,49 @@ int cmd_describe(const util::Config& cfg) {
   return 0;
 }
 
+/// A scheduled run: the scenario's [controller] block drives the fabric
+/// epoch by epoch (the paper-row replay path). Prints episode metrics plus
+/// per-tenant latency and SLO hit rate.
+int run_with_schedule(const scenario::Scenario& s) {
+  const scenario::ScheduledRunResult r = scenario::run_scheduled(s);
+  const core::EpisodeResult& ep = r.episode;
+  std::cout << "ran '" << s.name << "' under controller '" << ep.controller
+            << "': " << ep.actions.size() << " epochs x "
+            << s.controller.epoch_cycles << " router cycles (power_ref "
+            << util::fmt(r.power_ref_mw, 1) << " mW)\n\n";
+
+  util::Table agg({"metric", "value"});
+  agg.row().cell("reward").cell(ep.total_reward, 2);
+  agg.row().cell("mean_latency").cell(ep.mean_latency, 2);
+  agg.row().cell("p95_latency").cell(ep.p95_latency, 2);
+  agg.row().cell("mean_power_mW").cell(ep.mean_power_mw, 1);
+  agg.row().cell("accepted_rate").cell(ep.accepted_rate, 5);
+  agg.row().cell("backlog_end").cell(static_cast<long long>(ep.backlog_end));
+  agg.print(std::cout);
+
+  if (!ep.tenants.empty()) {
+    std::cout << "\nper-tenant:\n";
+    util::Table tab({"tenant", "qos", "offered", "delivered", "avg_lat",
+                     "p95_lat", "slo_hit"});
+    for (std::size_t i = 0; i < ep.tenants.size(); ++i) {
+      const core::TenantEpisodeSummary& t = ep.tenants[i];
+      const scenario::TenantSpec& spec = s.tenants[i];
+      tab.row()
+          .cell(spec.name)
+          .cell(scenario::to_string(spec.qos))
+          .cell(static_cast<long long>(t.packets_offered))
+          .cell(static_cast<long long>(t.packets_received))
+          .cell(t.mean_latency, 2)
+          .cell(t.p95_latency, 2)
+          .cell(spec.p95_target > 0.0
+                    ? util::fmt(100.0 * t.slo_hit_rate, 1) + "%"
+                    : std::string("-"));
+    }
+    tab.print(std::cout);
+  }
+  return 0;
+}
+
 int cmd_run(const util::Config& cfg) {
   const std::string path = cfg.get("file", std::string());
   if (path.empty()) return usage();
@@ -99,6 +162,20 @@ int cmd_run(const util::Config& cfg) {
   s.duration = cfg.get("duration", s.duration);
   s.net.seed = static_cast<std::uint64_t>(
       cfg.get("seed", static_cast<long long>(s.net.seed)));
+  if (s.controller.scheduled()) {
+    // Scheduled runs are fixed-length evaluations; their knobs are the
+    // schedule's, not the drain-run horizon.
+    const long long cycles = cfg.get(
+        "epoch_cycles", static_cast<long long>(s.controller.epoch_cycles));
+    if (cycles <= 0) {
+      std::cerr << "scenarioctl: epoch_cycles must be > 0\n";
+      return 2;
+    }
+    s.controller.epoch_cycles = static_cast<std::uint64_t>(cycles);
+    s.controller.epochs = cfg.get("epochs", s.controller.epochs);
+    s.validate();  // overrides may have broken the schedule
+    return run_with_schedule(s);
+  }
   s.validate();  // overrides may have broken the horizon invariant
 
   const scenario::ScenarioRunResult r = scenario::run_scenario(s);
