@@ -7,10 +7,20 @@
 // fans out over the experiment engine. A second section measures the engine
 // itself: the static-config sweep at 1 worker vs N workers, with identical
 // output and the wall-clock speedup printed.
+//
+// Modes:
+//   table4_scalability                    # full paper table + engine scaling
+//   table4_scalability --smoke            # reduced episode budget, no engine
+//                                         # scaling section (CI-sized)
+//   table4_scalability rows=32x32         # only rows whose name contains the
+//                                         # substring (e.g. mesh32x32)
+//   table4_scalability out=T4.json        # also write row metrics as JSON
 #include <chrono>
+#include <fstream>
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "util/config.h"
 
 using namespace drlnoc;
@@ -25,11 +35,25 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Config cfg = util::Config::from_args(argc, argv);
+  // `--smoke` is a bare flag; strip it before the key=value parser.
+  bool smoke = false;
+  std::vector<const char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  const util::Config cfg =
+      util::Config::from_args(static_cast<int>(args.size()), args.data());
+  smoke = cfg.get("smoke", smoke);
+  const std::string rows_filter = cfg.get("rows", std::string());
   const core::ExperimentRunner runner = bench::runner_from(cfg);
 
   std::cout << "T4: scalability across sizes and topologies (standard "
-               "phased workload, jobs=" << runner.jobs() << ")\n\n";
+               "phased workload, jobs=" << runner.jobs()
+            << (smoke ? ", SMOKE budget" : "") << ")\n\n";
   util::Table t({"network", "episodes", "drl_lat", "max_lat", "drl_mW",
                  "max_mW", "power_save%", "drl_reward", "max_reward"});
 
@@ -40,13 +64,32 @@ int main(int argc, char** argv) {
     int episodes;
     bool two_class;
   };
-  const std::vector<Case> cases = {
-      {"mesh", 4, 4, cfg.get("episodes_4", 120), false},
-      {"mesh", 8, 8, cfg.get("episodes_8", 40), false},
-      {"mesh", 16, 16, cfg.get("episodes_16", 12), false},
-      {"torus", 4, 4, cfg.get("episodes_t", 80), true},
-      {"ring", 8, 1, cfg.get("episodes_r", 80), true},
+  // Larger fabrics get smaller training budgets (wall clock); the 32x32 row
+  // exists at all because the event-driven network core skips quiescent
+  // routers — cycle-stepping 1024 routers made it unaffordable.
+  std::vector<Case> cases = {
+      {"mesh", 4, 4, cfg.get("episodes_4", smoke ? 8 : 120), false},
+      {"mesh", 8, 8, cfg.get("episodes_8", smoke ? 4 : 40), false},
+      {"mesh", 16, 16, cfg.get("episodes_16", smoke ? 2 : 12), false},
+      {"mesh", 32, 32, cfg.get("episodes_32", smoke ? 1 : 6), false},
+      {"torus", 4, 4, cfg.get("episodes_t", smoke ? 6 : 80), true},
+      {"ring", 8, 1, cfg.get("episodes_r", smoke ? 6 : 80), true},
   };
+  auto case_name = [](const Case& c) {
+    return c.topology +
+           (c.topology == "ring" ? std::to_string(c.width * c.height)
+                                 : std::to_string(c.width) + "x" +
+                                       std::to_string(c.height));
+  };
+  if (!rows_filter.empty()) {
+    std::erase_if(cases, [&](const Case& c) {
+      return case_name(c).find(rows_filter) == std::string::npos;
+    });
+    if (cases.empty()) {
+      std::cerr << "table4: rows=" << rows_filter << " matches nothing\n";
+      return 2;
+    }
+  }
 
   struct CaseResult {
     core::EpisodeResult drl, smax;
@@ -75,16 +118,18 @@ int main(int argc, char** argv) {
         return r;
       });
 
+  std::vector<std::pair<std::string, double>> json_metrics;
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const Case& c = cases[i];
     const CaseResult& r = results[i];
     const double save =
         100.0 * (1.0 - r.drl.mean_power_mw / r.smax.mean_power_mw);
-    const std::string name =
-        c.topology +
-        (c.topology == "ring" ? std::to_string(c.width * c.height)
-                              : std::to_string(c.width) + "x" +
-                                    std::to_string(c.height));
+    const std::string name = case_name(c);
+    json_metrics.emplace_back(name + "_drl_latency", r.drl.mean_latency);
+    json_metrics.emplace_back(name + "_smax_latency", r.smax.mean_latency);
+    json_metrics.emplace_back(name + "_drl_power_mw", r.drl.mean_power_mw);
+    json_metrics.emplace_back(name + "_smax_power_mw", r.smax.mean_power_mw);
+    json_metrics.emplace_back(name + "_power_save_pct", save);
     t.row()
         .cell(name)
         .cell(static_cast<long long>(c.episodes))
@@ -99,7 +144,15 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   std::cout << "\nshape check: power savings positive at every size and "
                "topology; latency stays in the static-max band (the 16x16 "
-               "row trains on a reduced budget).\n\n";
+               "and 32x32 rows train on reduced budgets).\n\n";
+
+  if (cfg.has("out")) {
+    std::ofstream out(cfg.get("out", std::string()));
+    bench::write_metrics_json(out, smoke ? "table4_smoke" : "table4",
+                              json_metrics, {}, "mixed");
+  }
+  // Smoke runs exist for CI: rows only, no engine-scaling section.
+  if (smoke) return 0;
 
   // ---- Engine scaling: the same sweep, serial vs parallel -----------------
   // sweep_static evaluates all static configs (36 on the standard space);

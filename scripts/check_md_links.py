@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links.
+
+Scans every tracked-ish .md file under the repo root (skipping build/ and
+hidden directories), extracts inline links and images, and verifies that
+relative targets exist on disk. External schemes (http/https/mailto),
+pure-anchor links, and paths that resolve outside the repo root (e.g. the
+GitHub-relative CI badge `../../actions/...`) are skipped as unverifiable.
+
+Exit 0 when every checked link resolves, 1 otherwise (one line per broken
+link). Stdlib only; run from anywhere: paths are anchored to the repo root
+(the parent of this script's directory).
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SKIP_DIRS = {"build", ".git", ".github"}
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+# Inline links/images: [text](target) — tolerates an optional "title".
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Fenced code blocks are stripped before link extraction.
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def md_files():
+    for dirpath, dirnames, filenames in os.walk(REPO_ROOT):
+        dirnames[:] = [
+            d for d in dirnames if d not in SKIP_DIRS and not d.startswith(".")
+        ]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def links_in(path):
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                yield lineno, m.group(1)
+
+
+def main():
+    broken = []
+    checked = 0
+    for md in md_files():
+        for lineno, target in links_in(md):
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            # Strip a trailing #anchor; anchor existence is not checked.
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = os.path.realpath(
+                os.path.join(os.path.dirname(md), target_path)
+            )
+            if not resolved.startswith(REPO_ROOT + os.sep):
+                continue  # outside the repo (e.g. GitHub badge links)
+            checked += 1
+            if not os.path.exists(resolved):
+                rel_md = os.path.relpath(md, REPO_ROOT)
+                broken.append(f"{rel_md}:{lineno}: broken link: {target}")
+    for line in broken:
+        print(line)
+    print(
+        f"check_md_links: {checked} intra-repo links checked, "
+        f"{len(broken)} broken"
+    )
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

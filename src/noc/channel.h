@@ -30,8 +30,19 @@ class Channel {
 
   Cycle latency() const { return latency_; }
 
+  /// Event-driven wake hook (see Network): registers the *receiving* node's
+  /// activity flag and in-flight counter. Every send bumps the counter and
+  /// re-arms the flag, every receive drops the counter, so a zero counter
+  /// proves nothing is in flight toward that node — one leg of the
+  /// network-level quiescence test. Unregistered channels behave as before.
+  void set_sink(std::uint8_t* active, std::uint32_t* inflight) {
+    sink_active_ = active;
+    sink_inflight_ = inflight;
+  }
+
   void send(T item, Cycle now) {
     entries_.push_back(Entry{now + latency_, std::move(item)});
+    notify_sink();
   }
 
   /// True if an item is deliverable at `now`.
@@ -43,6 +54,7 @@ class Channel {
     assert(ready(now));
     T item = std::move(entries_.front().item);
     entries_.pop_front();
+    if (sink_inflight_ != nullptr) --*sink_inflight_;
     return item;
   }
 
@@ -55,23 +67,34 @@ class Channel {
     assert(ready(now));
     dst = std::move(entries_.front().item);
     entries_.pop_front();
+    if (sink_inflight_ != nullptr) --*sink_inflight_;
   }
   void send_from(const T& item, Cycle now) {
     auto& slot = entries_.push_back_slot();
     slot.due = now + latency_;
     slot.item = item;
+    notify_sink();
   }
 
   bool empty() const { return entries_.empty(); }
   std::size_t in_flight() const { return entries_.size(); }
 
  private:
+  void notify_sink() {
+    if (sink_inflight_ != nullptr) {
+      ++*sink_inflight_;
+      *sink_active_ = 1;
+    }
+  }
+
   struct Entry {
     Cycle due = 0;
     T item{};
   };
   Cycle latency_;
   util::RingBuffer<Entry> entries_;
+  std::uint8_t* sink_active_ = nullptr;
+  std::uint32_t* sink_inflight_ = nullptr;
 };
 
 using FlitChannel = Channel<Flit>;

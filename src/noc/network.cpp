@@ -67,6 +67,12 @@ Network::Network(NetworkParams params, PowerParams power_params,
     routers_.push_back(std::make_unique<Router>(i, rp, *routing_));
     nics_.push_back(std::make_unique<Nic>(i, np));
   }
+  // The SoA hot-state vectors must reach their final size before wire()
+  // hands out pointers into them; everything starts armed.
+  node_active_.assign(static_cast<std::size_t>(n), 1);
+  inflight_flits_.assign(static_cast<std::size_t>(n), 0);
+  inflight_credits_.assign(static_cast<std::size_t>(n), 0);
+  node_buffered_.assign(static_cast<std::size_t>(n), 0);
   wire();
   per_router_configs_.assign(static_cast<std::size_t>(n), config_);
   refresh_active_capacity();
@@ -92,9 +98,15 @@ void Network::wire() {
   // Inter-router links: one flit channel downstream + one credit channel back.
   links_ = topology_->links();
   num_links_ = static_cast<int>(links_.size());
+  auto sink = [&](auto& chan, NodeId node, std::vector<std::uint32_t>& count) {
+    chan->set_sink(&node_active_[static_cast<std::size_t>(node)],
+                   &count[static_cast<std::size_t>(node)]);
+  };
   for (const Link& link : links_) {
     auto fc = std::make_unique<FlitChannel>(params_.link_latency);
     auto cc = std::make_unique<CreditChannel>(params_.link_latency);
+    sink(fc, link.to.node, inflight_flits_);
+    sink(cc, link.from.node, inflight_credits_);
     at(link.from.node, link.from.port).out_flits = fc.get();
     at(link.from.node, link.from.port).in_credits = cc.get();
     at(link.from.node, link.from.port).to_router = true;
@@ -110,6 +122,11 @@ void Network::wire() {
     auto inj_c = std::make_unique<CreditChannel>(1);
     auto ej_f = std::make_unique<FlitChannel>(1);
     auto ej_c = std::make_unique<CreditChannel>(1);
+    // All four NIC channels terminate at node i (router or its own NIC).
+    sink(inj_f, i, inflight_flits_);
+    sink(ej_f, i, inflight_flits_);
+    sink(inj_c, i, inflight_credits_);
+    sink(ej_c, i, inflight_credits_);
     at(i, kLocalPort).in_flits = inj_f.get();
     at(i, kLocalPort).out_credits = inj_c.get();
     at(i, kLocalPort).out_flits = ej_f.get();
@@ -161,6 +178,11 @@ void Network::apply_config(const NocConfig& config) {
   config_ = config;
   per_router_configs_.assign(static_cast<std::size_t>(num_nodes()), config);
   refresh_active_capacity();
+  // Reconfiguration touches every router (gating, depth, clock) — even
+  // quiescent ones must re-run under the new configuration. Depth growth
+  // also floods bonus credits, whose sink hooks alone would only wake
+  // upstream neighbors.
+  wake_all();
 }
 
 void Network::apply_per_router(const std::vector<NocConfig>& configs) {
@@ -195,6 +217,17 @@ void Network::apply_per_router(const std::vector<NocConfig>& configs) {
   config_ = representative;
   per_router_configs_ = configs;
   refresh_active_capacity();
+  wake_all();
+}
+
+void Network::wake_all() {
+  std::fill(node_active_.begin(), node_active_.end(), std::uint8_t{1});
+}
+
+int Network::active_nodes() const {
+  int count = 0;
+  for (std::uint8_t a : node_active_) count += a;
+  return count;
 }
 
 void Network::inject_due_traffic(TrafficInjector* injector) {
@@ -218,6 +251,7 @@ void Network::inject_due_traffic(TrafficInjector* injector) {
         const std::uint64_t packet_id = next_packet_id_++;
         nics_[static_cast<std::size_t>(node)]->offer_packet(
             dst, t, measuring_, packet_id, length, tenant);
+        wake(node);  // source NIC has work now
         injector->on_packet_injected(node, packet_id, t);
         ++epoch_offered_;
         ++total_offered_;
@@ -235,18 +269,29 @@ void Network::step(TrafficInjector* injector) {
   const double divisor = power_.clock_divisor(config_.dvfs_level);
   core_time_ += divisor;
 
-  for (auto& nic : nics_) nic->step(cycle_, core_time_);
-  for (auto& r : routers_) r->step(cycle_);
+  // Event-driven sweep: only armed nodes are stepped. Skipping a quiescent
+  // node is provably a no-op — its router holds no flits, nothing is in
+  // flight toward it (channel sink counters), and its NIC is idle — and
+  // channel latency >= 1 makes the per-node NIC/router interleaving
+  // indistinguishable from the old all-NICs-then-all-routers order, so the
+  // simulated behavior is bit-identical to cycle stepping. Records are
+  // harvested inline, still in ascending node order.
+  const int n = num_nodes();
+  int stepped = 0;
+  for (int node = 0; node < n; ++node) {
+    const auto idx = static_cast<std::size_t>(node);
+    if (node_active_[idx] == 0) continue;
+    ++stepped;
+    Nic& nic = *nics_[idx];
+    Router& router = *routers_[idx];
+    nic.step(cycle_, core_time_);
+    router.step(cycle_);
 
-  // Harvest completions and occupancy after the cycle's activity.
-  // buffered_flits() is an O(1) counter read; the capacity divisor is
-  // cached and refreshed on reconfiguration.
-  int buffered = 0;
-  for (auto& r : routers_) buffered += r->buffered_flits();
-  epoch_occupancy_.add(static_cast<double>(buffered) / active_capacity_);
+    const int buffered = router.buffered_flits();
+    buffered_total_ += buffered - static_cast<long long>(node_buffered_[idx]);
+    node_buffered_[idx] = static_cast<std::uint32_t>(buffered);
 
-  for (auto& nic : nics_) {
-    auto& recs = nic->records();
+    auto& recs = nic.records();
     for (PacketRecord& rec : recs) {
       ++epoch_received_;
       ++total_received_;
@@ -271,7 +316,21 @@ void Network::step(TrafficInjector* injector) {
       pending_records_.push_back(rec);
     }
     recs.clear();
+
+    // Quiescence test after the node's own activity; a send from a
+    // later-indexed neighbor re-arms the flag for the *next* cycle, which
+    // is exactly when its item can first become ready.
+    if (buffered == 0 && inflight_flits_[idx] == 0 &&
+        inflight_credits_[idx] == 0 && nic.idle()) {
+      node_active_[idx] = 0;
+    }
   }
+
+  // Occupancy over *all* nodes: quiescent routers hold zero flits, so the
+  // incrementally maintained integer total is exact.
+  epoch_occupancy_.add(static_cast<double>(buffered_total_) /
+                       active_capacity_);
+  epoch_active_.add(static_cast<double>(stepped) / static_cast<double>(n));
   ++cycle_;
 }
 
@@ -330,6 +389,7 @@ EpochStats Network::drain_epoch_stats() {
   s.avg_buffer_occupancy = epoch_occupancy_.mean();
   s.max_buffer_occupancy =
       epoch_occupancy_.count() ? epoch_occupancy_.max() : 0.0;
+  s.avg_active_fraction = epoch_active_.mean();
 
   double recv_max = 0.0, recv_sum = 0.0;
   for (std::uint64_t c : epoch_node_recv_) {
@@ -391,6 +451,7 @@ EpochStats Network::drain_epoch_stats() {
   epoch_latency_hist_.reset();
   epoch_hops_.reset();
   epoch_occupancy_.reset();
+  epoch_active_.reset();
   std::fill(epoch_node_recv_.begin(), epoch_node_recv_.end(), 0);
   return s;
 }

@@ -115,6 +115,9 @@ struct EpochStats {
   double avg_buffer_occupancy = 0.0;  ///< fraction of *active* capacity
   double max_buffer_occupancy = 0.0;
   double hotspot_skew = 1.0;  ///< max node receive count / mean
+  /// Mean fraction of nodes actually stepped per router cycle — the
+  /// event-driven core's skip rate (1.0 means fully cycle-stepped).
+  double avg_active_fraction = 0.0;
   double dynamic_energy_pj = 0.0;
   double static_energy_pj = 0.0;
   std::uint64_t source_queue_total = 0;  ///< backlog at epoch end
@@ -194,11 +197,24 @@ class Network {
   std::uint64_t total_packets_received() const { return total_received_; }
   std::uint64_t total_flits_injected() const;
   std::uint64_t total_flits_ejected() const;
-  Router& router(NodeId id) { return *routers_[static_cast<std::size_t>(id)]; }
-  Nic& nic(NodeId id) { return *nics_[static_cast<std::size_t>(id)]; }
+  /// Mutable component access re-arms the node: external mutation (tests,
+  /// tools poking microarchitectural state) invalidates the quiescence proof.
+  Router& router(NodeId id) {
+    wake(id);
+    return *routers_[static_cast<std::size_t>(id)];
+  }
+  Nic& nic(NodeId id) {
+    wake(id);
+    return *nics_[static_cast<std::size_t>(id)];
+  }
+  /// Number of nodes currently armed (stepped next cycle). Observability for
+  /// tests and benchmarks; a drained network decays to 0.
+  int active_nodes() const;
 
  private:
   void wire();
+  void wake(NodeId node) { node_active_[static_cast<std::size_t>(node)] = 1; }
+  void wake_all();
   void inject_due_traffic(TrafficInjector* injector);
   int active_capacity() const;
   void refresh_active_capacity();
@@ -227,6 +243,20 @@ class Network {
   std::vector<NocConfig> per_router_configs_;
   double active_capacity_ = 1.0;  ///< cached; refreshed on reconfiguration
 
+  // Event-driven stepping core: per-node hot state as struct-of-arrays so
+  // the active sweep is cache-linear. A node is skipped while its flag is 0,
+  // which requires all three quiescence legs: router empty
+  // (node_buffered_ == 0), nothing in flight toward it on any channel
+  // (inflight_* == 0, maintained by Channel sink hooks), and an idle NIC.
+  // Channels re-arm the flag on send; injection, reconfiguration, and the
+  // mutable accessors re-arm explicitly. The vectors never resize after
+  // construction — channels hold raw pointers into them.
+  std::vector<std::uint8_t> node_active_;
+  std::vector<std::uint32_t> inflight_flits_;    ///< inbound flits per node
+  std::vector<std::uint32_t> inflight_credits_;  ///< inbound credits per node
+  std::vector<std::uint32_t> node_buffered_;  ///< router buffered-flit mirror
+  long long buffered_total_ = 0;  ///< sum of node_buffered_ (exact, integer)
+
   std::vector<util::Rng> node_rngs_;
   std::uint64_t next_packet_id_ = 1;
   bool measuring_ = true;
@@ -246,6 +276,7 @@ class Network {
   util::Histogram epoch_latency_hist_;
   util::Accumulator epoch_hops_;
   util::Accumulator epoch_occupancy_;
+  util::Accumulator epoch_active_;  ///< stepped-node fraction per cycle
   std::vector<std::uint64_t> epoch_node_recv_;
   std::vector<PacketRecord> pending_records_;
 

@@ -119,6 +119,27 @@ TEST(GoldenDeterminism, Mesh6x6OddEvenTranspose) {
   EXPECT_EQ(h.value(), 634678814998183288ULL);
 }
 
+TEST(GoldenDeterminism, Mesh16x16UniformLowLoadWithReconfig) {
+  // Low load on the large mesh: most routers are idle most cycles, which is
+  // exactly the regime the event-driven network core skips — the hash pins
+  // that skipping provably idle work never changes simulated behavior.
+  noc::NetworkParams p;
+  p.width = p.height = 16;
+  p.seed = 21;
+  noc::Network net(p);
+  noc::SteadyWorkload w =
+      noc::SteadyWorkload::make(net.topology(), "uniform", 0.02);
+
+  Fnv h;
+  mix_stats(h, net.run_epoch(&w, 1200));
+  net.apply_config(noc::NocConfig{2, 4, 2});
+  mix_stats(h, net.run_epoch(&w, 1200));
+  mix_records(h, net.drain_records());
+  mix_router_state(h, net);
+
+  EXPECT_EQ(h.value(), 10559580170762473702ULL);
+}
+
 TEST(GoldenDeterminism, Torus4x4DatelineClasses) {
   noc::NetworkParams p;
   p.topology = "torus";

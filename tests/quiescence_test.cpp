@@ -1,0 +1,258 @@
+// Quiescence edge cases for the event-driven network core: a router leaves
+// the active set only when it is *provably* idle (no buffered flits, no
+// in-flight channel traffic, idle NIC) and must re-arm on every event that
+// can touch it — reconfiguration credits, tenant window boundaries, and
+// trace-replay dependency releases into an already-drained region.
+//
+// The golden hashes were captured from the pre-event-driven build (every
+// router stepped every cycle), so these tests pin that skipping quiescent
+// work never moves a single bit.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "noc/network.h"
+#include "noc/workload.h"
+#include "scenario/runtime.h"
+#include "scenario/scenario.h"
+#include "trace/trace_workload.h"
+#include "util/rng.h"
+
+namespace drlnoc {
+namespace {
+
+/// FNV-1a over 64-bit words; doubles are hashed by bit pattern (same helper
+/// as tests/determinism_test.cpp).
+class Fnv {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xff;
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  void mix(int v) {
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+void mix_stats(Fnv& h, const noc::EpochStats& s) {
+  h.mix(s.packets_offered);
+  h.mix(s.packets_received);
+  h.mix(s.flits_injected);
+  h.mix(s.flits_ejected);
+  h.mix(s.avg_latency);
+  h.mix(s.p95_latency);
+  h.mix(s.max_latency);
+  h.mix(s.avg_hops);
+  h.mix(s.avg_buffer_occupancy);
+  h.mix(s.source_queue_total);
+  for (const noc::TenantEpochStats& t : s.tenants) {
+    h.mix(t.packets_offered);
+    h.mix(t.packets_received);
+    h.mix(t.packets_measured);
+    h.mix(t.flits_ejected);
+    h.mix(t.avg_latency);
+    h.mix(t.p95_latency);
+    h.mix(t.max_latency);
+  }
+}
+
+void mix_records(Fnv& h, const std::vector<noc::PacketRecord>& records) {
+  h.mix(static_cast<std::uint64_t>(records.size()));
+  for (const noc::PacketRecord& r : records) {
+    h.mix(r.packet_id);
+    h.mix(r.src);
+    h.mix(r.dst);
+    h.mix(static_cast<std::uint64_t>(r.length));
+    h.mix(r.inject_time);
+    h.mix(r.eject_time);
+    h.mix(static_cast<std::uint64_t>(r.hops));
+    h.mix(static_cast<std::uint64_t>(r.measured ? 1 : 0));
+  }
+}
+
+void mix_router_state(Fnv& h, noc::Network& net) {
+  const int radix = net.topology().radix();
+  const int vcs = net.params().max_vcs;
+  for (int node = 0; node < net.num_nodes(); ++node) {
+    noc::Router& r = net.router(node);
+    h.mix(r.buffered_flits());
+    for (int p = 0; p < radix; ++p) {
+      for (int v = 0; v < vcs; ++v) {
+        h.mix(r.input_occupancy(p, v));
+        h.mix(r.advertised_capacity(p, v));
+        h.mix(r.output_credits(p, v));
+      }
+    }
+  }
+}
+
+/// Uniform traffic gated to two bursts with a long fully-idle gap between
+/// them: [0, 200) and [1500, 1700) core cycles. Outside the windows no RNG
+/// is drawn, so the burst traffic is identical whatever happens in the gap.
+class WindowedUniform : public noc::TrafficInjector {
+ public:
+  WindowedUniform(const noc::Topology& topo, double rate)
+      : inner_(noc::SteadyWorkload::make(topo, "uniform", rate)) {}
+
+  noc::NodeId generate(noc::NodeId src, double t, util::Rng& rng) override {
+    const bool in_window = t < 200.0 || (t >= 1500.0 && t < 1700.0);
+    if (!in_window) return noc::kInvalidNode;
+    return inner_.generate(src, t, rng);
+  }
+  std::string name() const override { return "windowed_uniform"; }
+
+ private:
+  noc::SteadyWorkload inner_;
+};
+
+// A mid-epoch reconfiguration lands while the whole fabric is quiescent:
+// the depth growth floods bonus credits into every channel and the next
+// burst must find every router re-armed with the new configuration. The
+// hash covers both bursts, the drain, and the final microarchitectural
+// state (advertised capacities prove the reconfig reached idle routers).
+TEST(Quiescence, RearmAfterMidEpochReconfigWhileIdle) {
+  noc::NetworkParams p;
+  p.width = p.height = 8;
+  p.seed = 17;
+  p.initial_config = noc::NocConfig{4, 4, 3};
+  noc::Network net(p);
+  WindowedUniform w(net.topology(), 0.10);
+
+  Fnv h;
+  // Burst [0,200) plus full drain: the fabric is silent long before cycle
+  // 700 (dvfs level 3 runs routers at the core clock).
+  mix_stats(h, net.run_epoch(&w, 700));
+  EXPECT_TRUE(net.drained());
+  // The drained fabric must have fully quiesced: every node left the
+  // active worklist.
+  EXPECT_EQ(net.active_nodes(), 0);
+  // Reconfigure the idle fabric: fewer VCs, *deeper* buffers (bonus credits
+  // flow upstream through every channel), slower clock.
+  net.apply_config(noc::NocConfig{2, 8, 2});
+  // Reconfiguration re-arms everyone (gating and credits changed).
+  EXPECT_EQ(net.active_nodes(), net.num_nodes());
+  // Second burst [1500,1700) core time falls inside this epoch
+  // (700 + 900 router cycles x divisor 4/3 = 1900 core cycles).
+  mix_stats(h, net.run_epoch(&w, 900));
+  mix_stats(h, net.run_epoch(&w, 600));  // drain tail
+  EXPECT_TRUE(net.drained());
+  mix_records(h, net.drain_records());
+  mix_router_state(h, net);
+
+  EXPECT_EQ(h.value(), 17408074369770322554ULL);
+}
+
+// Composite-workload tenant activation at a [start,stop) boundary: tenant 1
+// wakes a fabric that fully drained after tenant 0's window closed. The
+// per-tenant slices pin that the window edges (inclusive start, exclusive
+// stop) did not move.
+TEST(Quiescence, TenantActivationAtWindowBoundaryAfterDrain) {
+  scenario::Scenario s;
+  s.name = "window_boundary";
+  s.net.width = s.net.height = 8;
+  s.net.seed = 5;
+  s.duration = 4000;
+  s.cycle_limit = 100000;
+
+  scenario::TenantSpec t0;
+  t0.name = "early";
+  t0.kind = scenario::WorkloadKind::kSteady;
+  t0.pattern = "uniform";
+  t0.rate = 0.06;
+  for (int i = 0; i < 16; ++i) t0.nodes.push_back(i);
+  t0.start = 0.0;
+  t0.stop = 600.0;
+
+  scenario::TenantSpec t1;
+  t1.name = "late";
+  t1.kind = scenario::WorkloadKind::kSteady;
+  t1.pattern = "transpose";
+  t1.rate = 0.05;
+  for (int i = 48; i < 64; ++i) t1.nodes.push_back(i);
+  t1.start = 2500.0;  // fabric fully drained long before this boundary
+  t1.stop = 3200.0;
+
+  s.tenants = {t0, t1};
+
+  const scenario::ScenarioRunResult r = scenario::run_scenario(s);
+  EXPECT_TRUE(r.completed);
+  ASSERT_EQ(r.stats.tenants.size(), 2u);
+  EXPECT_GT(r.stats.tenants[0].packets_received, 0u);
+  EXPECT_GT(r.stats.tenants[1].packets_received, 0u);
+
+  Fnv h;
+  mix_stats(h, r.stats);
+  h.mix(static_cast<std::uint64_t>(r.cycles));
+  EXPECT_EQ(h.value(), 6449430330483873073ULL);
+}
+
+// Trace-replay dependency release into a quiescent region: each record
+// depends on the previous one with a compute delay long enough for the
+// whole fabric to drain in between, so every release after the first must
+// re-arm sleeping routers at distant corners of the mesh.
+TEST(Quiescence, DependencyReleaseIntoQuiescentRegion) {
+  trace::Trace t;
+  t.nodes = 64;
+  t.default_length = 4;
+  t.records = {
+      {1, 0, 63, 0.0, 4, {}},
+      {2, 63, 0, 3000.0, 4, {1}},    // fabric idle for ~3000 cycles first
+      {3, 7, 56, 2500.0, 6, {2}},    // far corner pair, also after a gap
+      {4, 56, 7, 10.0, 2, {3}},      // quick chained reply
+  };
+
+  noc::NetworkParams p;
+  p.width = p.height = 8;
+  p.seed = 9;
+  noc::Network net(p);
+  trace::TraceWorkload workload(std::move(t));
+
+  const trace::TraceReplayResult r =
+      trace::run_trace_replay(net, workload, 100000);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(workload.delivered(), 4u);
+
+  Fnv h;
+  mix_stats(h, r.stats);
+  h.mix(static_cast<std::uint64_t>(r.cycles));
+  mix_router_state(h, net);
+  EXPECT_EQ(h.value(), 8664398725549031137ULL);
+}
+
+// A fully drained network must stay bit-frozen under further stepping: no
+// statistics move and nothing is offered or delivered.
+TEST(Quiescence, DrainedNetworkStepsAreNoOps) {
+  noc::NetworkParams p;
+  p.width = p.height = 4;
+  p.seed = 3;
+  noc::Network net(p);
+  noc::SteadyWorkload w =
+      noc::SteadyWorkload::make(net.topology(), "uniform", 0.10);
+  (void)net.run_epoch(&w, 500);
+  (void)net.run_epoch(nullptr, 2000);  // drain
+  ASSERT_TRUE(net.drained());
+  EXPECT_EQ(net.active_nodes(), 0);
+  (void)net.drain_epoch_stats();
+
+  const noc::EpochStats idle = net.run_epoch(nullptr, 1000);
+  EXPECT_TRUE(net.drained());
+  EXPECT_EQ(net.active_nodes(), 0);
+  EXPECT_EQ(idle.avg_active_fraction, 0.0);
+  EXPECT_EQ(idle.packets_offered, 0u);
+  EXPECT_EQ(idle.packets_received, 0u);
+  EXPECT_EQ(idle.flits_injected, 0u);
+  EXPECT_EQ(idle.flits_ejected, 0u);
+  EXPECT_EQ(idle.source_queue_total, 0u);
+  EXPECT_EQ(idle.avg_buffer_occupancy, 0.0);
+}
+
+}  // namespace
+}  // namespace drlnoc

@@ -27,14 +27,61 @@ using namespace drlnoc;
 
 namespace {
 
+constexpr const char* kUsage =
+    "usage: scenarioctl <validate|describe|run> file=X [key=value...]\n"
+    "  validate file=X\n"
+    "  describe file=X\n"
+    "  run      file=X [cycle_limit=N] [duration=T] [seed=S]\n"
+    "           (scheduled: [epochs=N] [epoch_cycles=N])\n"
+    "Pass --help after a subcommand for its full option list; the .drlsc\n"
+    "format is specified in docs/FORMATS.md.\n";
+
 int usage() {
-  std::cerr << "usage: scenarioctl <validate|describe|run> file=X "
-               "[key=value...]\n"
-               "  validate file=X\n"
-               "  describe file=X\n"
-               "  run      file=X [cycle_limit=N] [duration=T] [seed=S]\n"
-               "           (scheduled: [epochs=N] [epoch_cycles=N])\n";
+  std::cerr << kUsage;
   return 2;
+}
+
+/// Detailed per-subcommand help, printed to stdout for `scenarioctl <cmd>
+/// --help` (exit 0, unlike the exit-2 usage() error path).
+int help(const std::string& command) {
+  if (command == "validate") {
+    std::cout
+        << "scenarioctl validate file=X\n"
+           "Parse and fully validate a .drlsc scenario — key/section typos,\n"
+           "tenant specs, QoS constraints, and eager loading of referenced\n"
+           "traces and policy files (relative to the scenario file). Prints\n"
+           "a one-line summary on success; exit 1 with a diagnostic on any\n"
+           "error.\n";
+  } else if (command == "describe") {
+    std::cout
+        << "scenarioctl describe file=X\n"
+           "Print the parsed scenario: fabric, horizon, one row per tenant\n"
+           "(workload, node set, activity window, QoS class) and the\n"
+           "[controller] schedule when present.\n";
+  } else if (command == "run") {
+    std::cout
+        << "scenarioctl run file=X [cycle_limit=N] [duration=T] [seed=S]\n"
+           "Execute the scenario and print aggregate plus per-tenant\n"
+           "latency/throughput/energy. Exit 0 only when every tenant\n"
+           "finished and the fabric drained within the cycle limit\n"
+           "(cycle_limit=/duration=/seed= override the file).\n"
+           "With a [controller] block the run is instead a fixed-length\n"
+           "scheduled policy evaluation (static/heuristic/trained-DRL)\n"
+           "reporting per-tenant latency and SLO hit rates; epochs= and\n"
+           "epoch_cycles= override the schedule, cycle_limit/duration do\n"
+           "not apply, and completion exits 0.\n";
+  } else {
+    std::cout << kUsage;
+  }
+  return 0;
+}
+
+bool wants_help(int argc, char** argv) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") return true;
+  }
+  return false;
 }
 
 void describe_tenants(const scenario::Scenario& s) {
@@ -218,7 +265,13 @@ int cmd_run(const util::Config& cfg) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "--help" || command == "-h") {
+    std::cout << kUsage;
+    return 0;
+  }
+  if (wants_help(argc, argv)) return help(command);
   try {
+    // Config::from_args skips its argv[0] slot; shift past the subcommand.
     const util::Config cfg = util::Config::from_args(argc - 1, argv + 1);
     if (command == "validate") return cmd_validate(cfg);
     if (command == "describe") return cmd_describe(cfg);

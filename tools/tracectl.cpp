@@ -28,20 +28,72 @@ using namespace drlnoc;
 
 namespace {
 
+constexpr const char* kUsage =
+    "usage: tracectl <info|stats|convert|generate|replay> key=value...\n"
+    "  info     file=X [show=N]\n"
+    "  stats    file=X [top=N]        (per-node histograms + "
+    "dependency depth)\n"
+    "  convert  in=X out=Y            (.drltrc text, .drltrb "
+    "binary)\n"
+    "  generate kind=dnn|allreduce|alltoall out=X [nodes=16]\n"
+    "           [layers=4 tiles=4 batches=4 interval=64]  (dnn)\n"
+    "           [rounds=N compute=C flits=F start=T]\n"
+    "  replay   file=X [size=4] [topology=mesh] [scale=1.0]\n"
+    "           [cycle_limit=1000000]\n"
+    "Pass --help after a subcommand for its full option list; formats are\n"
+    "specified in docs/FORMATS.md.\n";
+
 int usage() {
-  std::cerr << "usage: tracectl <info|stats|convert|generate|replay> "
-               "key=value...\n"
-               "  info     file=X [show=N]\n"
-               "  stats    file=X [top=N]        (per-node histograms + "
-               "dependency depth)\n"
-               "  convert  in=X out=Y            (.drltrc text, .drltrb "
-               "binary)\n"
-               "  generate kind=dnn|allreduce|alltoall out=X [nodes=16]\n"
-               "           [layers=4 tiles=4 batches=4 interval=64]  (dnn)\n"
-               "           [rounds=N compute=C flits=F start=T]\n"
-               "  replay   file=X [size=4] [topology=mesh] [scale=1.0]\n"
-               "           [cycle_limit=1000000]\n";
+  std::cerr << kUsage;
   return 2;
+}
+
+/// Detailed per-subcommand help, printed to stdout for `tracectl <cmd>
+/// --help` (exit 0, unlike the exit-2 usage() error path).
+int help(const std::string& command) {
+  if (command == "info") {
+    std::cout
+        << "tracectl info file=X [show=N]\n"
+           "Print a trace's header and summary (records, roots, dependency\n"
+           "edges, time span, offered root rate, total flits). show=N also\n"
+           "lists the first N records. Reads .drltrc (text) or .drltrb\n"
+           "(binary); the encoding is sniffed from the file contents.\n";
+  } else if (command == "stats") {
+    std::cout
+        << "tracectl stats file=X [top=N]\n"
+           "Per-node packet/flit histograms plus a dependency-depth summary\n"
+           "(depth = longest predecessor chain; roots are depth 0) — the\n"
+           "quick shape check before replaying an unfamiliar trace.\n"
+           "top=N shows the N busiest nodes (default 8; top=0 for all).\n";
+  } else if (command == "convert") {
+    std::cout
+        << "tracectl convert in=X out=Y\n"
+           "Re-encode a trace. The output encoding is chosen by extension:\n"
+           ".drltrb is packed binary (32-byte record stride), anything else\n"
+           "is text. Both directions round-trip bit-exactly.\n";
+  } else if (command == "generate") {
+    std::cout
+        << "tracectl generate kind=K out=X [params...]\n"
+           "Synthesize a task-graph trace. Kinds and their parameters:\n"
+           "  dnn        layer-pipeline DNN: nodes= layers= tiles= batches=\n"
+           "             interval= compute= flits=\n"
+           "  allreduce  ring all-reduce: nodes= rounds= compute= flits=\n"
+           "             start=\n"
+           "  alltoall   barrier-separated rounds: nodes= rounds= compute=\n"
+           "             flits= start=\n"
+           "Defaults mirror the structs in src/trace/generators.h.\n";
+  } else if (command == "replay") {
+    std::cout
+        << "tracectl replay file=X [size=4] [topology=mesh] [scale=1.0]\n"
+           "               [cycle_limit=1000000]\n"
+           "Replay a trace on a fresh fabric and print latency/energy\n"
+           "metrics. size= (or width=/height=) must cover the trace's node\n"
+           "count; scale= divides all release times (load knob); seed= sets\n"
+           "the network seed. Exit 1 if the cycle limit is hit first.\n";
+  } else {
+    std::cout << kUsage;
+  }
+  return 0;
 }
 
 int cmd_info(const util::Config& cfg) {
@@ -267,12 +319,26 @@ int cmd_replay(const util::Config& cfg) {
   return r.completed ? 0 : 1;
 }
 
+bool wants_help(int argc, char** argv) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "--help" || command == "-h") {
+    std::cout << kUsage;
+    return 0;
+  }
+  if (wants_help(argc, argv)) return help(command);
   try {
+    // Config::from_args skips its argv[0] slot; shift past the subcommand.
     const util::Config cfg = util::Config::from_args(argc - 1, argv + 1);
     if (command == "info") return cmd_info(cfg);
     if (command == "stats") return cmd_stats(cfg);
