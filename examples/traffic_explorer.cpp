@@ -6,6 +6,10 @@
 //   ./build/examples/traffic_explorer --workload trace=app.drltrc scale=2
 //   ./build/examples/traffic_explorer --workload phased=0.8
 //   ./build/examples/traffic_explorer --workload scenario=mix.drlsc
+//
+// Deterministic fault injection rides along on every mode:
+//   fault_rate=0.01 fault_seed=7 fault_timeout=64 fault_backoff=2
+//   fault_budget=4 fault_link=5:1,9:2   (kill links 5->E and 9->W at cycle 0)
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -25,10 +29,49 @@ using namespace drlnoc;
 
 namespace {
 
+/// `fault_rate=P fault_seed=S fault_timeout=N fault_backoff=B
+/// fault_budget=N fault_link=NODE:PORT`: deterministic fault injection on
+/// every explored run. fault_link= kills one directed link at cycle 0 (may
+/// repeat as a comma list); the resulting config is validated against the
+/// topology before any run starts.
+noc::FaultParams fault_params_from(const util::Config& cfg) {
+  noc::FaultParams f;
+  f.link_fault_rate = cfg.get("fault_rate", 0.0);
+  f.seed = static_cast<std::uint64_t>(cfg.get("fault_seed", 1LL));
+  const long long timeout = cfg.get("fault_timeout", 64LL);
+  if (timeout < 1) {
+    throw std::invalid_argument("fault_timeout must be >= 1");
+  }
+  f.retry_timeout = static_cast<noc::Cycle>(timeout);
+  f.retry_backoff = cfg.get("fault_backoff", 2.0);
+  f.retry_budget = cfg.get("fault_budget", 4);
+  std::string links = cfg.get("fault_link", std::string());
+  std::size_t start = 0;
+  while (start < links.size()) {
+    const std::size_t comma = links.find(',', start);
+    const std::size_t end = comma == std::string::npos ? links.size() : comma;
+    const std::string item = links.substr(start, end - start);
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == item.size()) {
+      throw std::invalid_argument("fault_link expects NODE:PORT, got '" +
+                                  item + "'");
+    }
+    noc::FaultEvent ev;
+    ev.kind = noc::FaultEvent::Kind::kLinkDown;
+    ev.at_cycle = 0;
+    ev.node = std::stoi(item.substr(0, colon));
+    ev.port = std::stoi(item.substr(colon + 1));
+    f.events.push_back(ev);
+    start = comma == std::string::npos ? links.size() : comma + 1;
+  }
+  f.validate();
+  return f;
+}
+
 /// `--workload trace=<file>`: replay an application trace on the chosen
 /// topology, with `scale=` mapped to the rate-scaling knob.
 int explore_trace(const noc::NetworkParams& p, const std::string& path,
-                  const util::Config& cfg) {
+                  const util::Config& cfg, const noc::FaultParams& faults) {
   const auto t =
       std::make_shared<const trace::Trace>(trace::TraceReader::read_file(path));
   if (p.width * p.height < t->nodes) {
@@ -39,6 +82,7 @@ int explore_trace(const noc::NetworkParams& p, const std::string& path,
   trace::TraceWorkloadParams tw;
   tw.rate_scale = cfg.get("scale", 1.0);
   noc::Network net(p);
+  if (faults.enabled()) net.set_fault_model(faults);
   trace::TraceWorkload w(t, tw);
   const auto limit =
       static_cast<std::uint64_t>(cfg.get("cycle_limit", 2000000LL));
@@ -63,8 +107,14 @@ int explore_trace(const noc::NetworkParams& p, const std::string& path,
 /// `--workload scenario=<file>`: run a multi-tenant `.drlsc` scenario on its
 /// own fabric (the scenario carries its topology; size=/topology= flags are
 /// ignored) and print aggregate plus per-tenant metrics.
-int explore_scenario(const std::string& path) {
-  const scenario::Scenario s = scenario::ScenarioReader::read_file(path);
+int explore_scenario(const std::string& path,
+                     const noc::FaultParams& faults) {
+  scenario::Scenario s = scenario::ScenarioReader::read_file(path);
+  if (faults.enabled()) {
+    // Command-line faults replace the scenario's own [faults] section for
+    // this run; the merged scenario is re-validated by run_scenario.
+    s.faults = faults;
+  }
   const scenario::ScenarioRunResult r = scenario::run_scenario(s);
   std::cout << "scenario '" << s.name << "' on " << s.net.topology << " "
             << s.net.width << "x" << s.net.height
@@ -91,10 +141,11 @@ int explore_scenario(const std::string& path) {
 /// `--workload phased[=scale]`: one steady-state run of the canonical
 /// 4-phase workload (parity with trace exploration).
 int explore_phased(const noc::NetworkParams& p, const std::string& arg,
-                   const util::Config& cfg) {
+                   const util::Config& cfg, const noc::FaultParams& faults) {
   const double phase_scale = arg.empty() ? cfg.get("scale", 1.0)
                                          : std::stod(arg);
   noc::Network net(p);
+  if (faults.enabled()) net.set_fault_model(faults);
   noc::PhasedWorkload w(net.topology(),
                         noc::PhasedWorkload::standard_phases(net.topology(),
                                                              phase_scale));
@@ -131,9 +182,16 @@ int main(int argc, char** argv) {
   p.seed = cfg.get("seed", 1);
   p.routing = cfg.get("routing", std::string("auto"));
 
+  const noc::FaultParams faults = fault_params_from(cfg);
+
   std::cout << "traffic explorer: " << topology << " " << size << "x" << size
             << ", rate " << rate << " pkt/node/cycle, routing " << p.routing
-            << ", jobs " << jobs << "\n\n";
+            << ", jobs " << jobs;
+  if (faults.enabled()) {
+    std::cout << ", faults on (rate " << faults.link_fault_rate << ", "
+              << faults.events.size() << " link events)";
+  }
+  std::cout << "\n\n";
 
   // Application-level workloads: `--workload trace=<file>` replays a trace
   // (see src/trace/), `--workload scenario=<file>` runs a multi-tenant
@@ -143,13 +201,14 @@ int main(int argc, char** argv) {
     const std::string w = cfg.get("workload", std::string());
     try {
       if (w.rfind("trace=", 0) == 0) {
-        return explore_trace(p, w.substr(6), cfg);
+        return explore_trace(p, w.substr(6), cfg, faults);
       }
       if (w.rfind("scenario=", 0) == 0) {
-        return explore_scenario(w.substr(9));
+        return explore_scenario(w.substr(9), faults);
       }
       if (w == "phased" || w.rfind("phased=", 0) == 0) {
-        return explore_phased(p, w == "phased" ? "" : w.substr(7), cfg);
+        return explore_phased(p, w == "phased" ? "" : w.substr(7), cfg,
+                              faults);
       }
     } catch (const std::exception& e) {
       std::cerr << "workload error: " << e.what() << "\n";
@@ -176,7 +235,8 @@ int main(int argc, char** argv) {
         PatternRow row;
         try {
           row.result = noc::measure_point(
-              p, patterns[static_cast<std::size_t>(i)], rate);
+              p, patterns[static_cast<std::size_t>(i)], rate,
+              noc::SteadyRunParams{}, faults);
         } catch (const std::exception& e) {
           row.error = e.what();
         }

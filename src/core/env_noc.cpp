@@ -150,6 +150,12 @@ void NocConfigEnv::build_network() {
   composite_ = nullptr;
   net_ = std::make_unique<noc::Network>(np, params_.power);
   if (params_.scenario) {
+    // Each episode gets its own fault model at the same seed, so fault
+    // timing is reproducible per episode and independent of how many
+    // episodes (or parallel experiment threads) ran before this one.
+    if (params_.scenario->faults.enabled()) {
+      net_->set_fault_model(params_.scenario->faults);
+    }
     auto composite =
         scenario::build_workload(*params_.scenario, net_->topology());
     composite_ = composite.get();

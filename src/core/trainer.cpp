@@ -48,6 +48,10 @@ EpisodeResult evaluate(NocConfigEnv& env, Controller& controller,
                                        env.params().net.height);
     out.p95_latency = std::max(out.p95_latency, stats.p95_latency);
     out.backlog_end = stats.source_queue_total;
+    out.flits_dropped += stats.flits_dropped;
+    out.retries += stats.retries;
+    out.packets_lost += stats.packets_lost;
+    out.rerouted_hops += stats.rerouted_hops;
     if (!stats.tenants.empty()) {
       out.tenants.resize(stats.tenants.size());
       tenant_latency_weighted.resize(stats.tenants.size(), 0.0);
@@ -59,6 +63,10 @@ EpisodeResult evaluate(NocConfigEnv& env, Controller& controller,
         sum.packets_offered += ts.packets_offered;
         sum.packets_received += ts.packets_received;
         sum.flits_ejected += ts.flits_ejected;
+        sum.flits_dropped += ts.flits_dropped;
+        sum.retries += ts.retries;
+        sum.packets_lost += ts.packets_lost;
+        sum.rerouted_hops += ts.rerouted_hops;
         sum.p95_latency = std::max(sum.p95_latency, ts.p95_latency);
         tenant_latency_weighted[i] +=
             ts.avg_latency * static_cast<double>(ts.packets_measured);

@@ -33,6 +33,11 @@ struct TenantEpisodeSummary {
   std::uint64_t slo_epochs = 0;  ///< epochs with traffic (target set)
   std::uint64_t slo_hits = 0;    ///< of those, epochs with p95 <= target
   double slo_hit_rate = 1.0;     ///< hits/epochs; 1 when no target or idle
+  // Fault accounting (zero on a healthy fabric; see noc/faults.h).
+  std::uint64_t flits_dropped = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t packets_lost = 0;
+  std::uint64_t rerouted_hops = 0;
 };
 
 /// Aggregate metrics for one evaluated episode.
@@ -46,6 +51,11 @@ struct EpisodeResult {
   double offered_rate = 0.0;
   double accepted_rate = 0.0;
   std::uint64_t backlog_end = 0;
+  // Fault accounting summed over the episode (zero on a healthy fabric).
+  std::uint64_t flits_dropped = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t packets_lost = 0;
+  std::uint64_t rerouted_hops = 0;
   std::vector<noc::EpochStats> epochs;  ///< per-epoch detail (F4 timeline)
   std::vector<int> actions;             ///< chosen action per epoch
   /// One entry per tenant when the environment tracks tenants (scenario

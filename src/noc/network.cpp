@@ -264,7 +264,83 @@ void Network::inject_due_traffic(TrafficInjector* injector) {
   }
 }
 
+void Network::set_fault_model(const FaultParams& params) {
+  // Construction validates the params against the topology, including the
+  // fail-fast connectivity check for cycle-0 link deaths.
+  fault_model_ = std::make_unique<FaultModel>(params, *topology_);
+  fault_routing_ = std::make_unique<FaultAwareRouting>(*routing_, *topology_);
+  node_step_divisor_.assign(static_cast<std::size_t>(num_nodes()), 1);
+  for (auto& r : routers_) {
+    r->set_routing(*fault_routing_);
+    r->set_fault_model(fault_model_.get());
+  }
+  // The model may fire events on the very next cycle; everyone re-arms.
+  wake_all();
+}
+
+void Network::service_faults() {
+  while (const FaultEvent* e = fault_model_->next_due_event(cycle_)) {
+    if (e->kind == FaultEvent::Kind::kLinkDown) {
+      if (fault_model_->kill_link(e->node, e->port)) {
+        // Throws when the surviving links disconnect the topology.
+        fault_routing_->recompute(fault_model_->dead_links());
+        // Minimal paths changed fabric-wide: every router — including
+        // quiescent ones holding stale route candidates — must re-run under
+        // the new table, mirroring apply_config's wake discipline.
+        wake_all();
+      }
+    } else {
+      node_step_divisor_[static_cast<std::size_t>(e->node)] =
+          static_cast<std::uint32_t>(std::max(1, e->factor));
+      // A slowdown affects exactly one node; waking it suffices (its
+      // neighbors re-arm through channel sink hooks as backpressure forms).
+      wake(e->node);
+    }
+  }
+  FaultModel::Retry retry;
+  while (fault_model_->pop_due_retry(cycle_, retry)) {
+    // Retries re-enter through the source NIC with the original packet id
+    // and inject time: latency spans the retry delay, dependency-gated
+    // workloads keep their id maps, and offered counts are not re-inflated.
+    nics_[static_cast<std::size_t>(retry.src)]->offer_packet(
+        retry.dst, retry.inject_time, retry.measured, retry.packet_id,
+        retry.length, retry.tenant);
+    wake(retry.src);
+    ++epoch_retries_;
+    if (!tenant_retries_.empty()) ++tenant_retries_[tenant_slot(retry.tenant)];
+  }
+}
+
+bool Network::account_faulted_record(const PacketRecord& rec) {
+  const bool tracking = !tenant_offered_.empty();
+  if (rec.corrupted) {
+    epoch_flits_dropped_ += rec.length;
+    if (tracking) tenant_flits_dropped_[tenant_slot(rec.tenant)] += rec.length;
+    if (fault_model_->on_corrupt_delivery(rec, cycle_) ==
+        FaultModel::RetryVerdict::kLost) {
+      ++epoch_packets_lost_;
+      if (tracking) ++tenant_packets_lost_[tenant_slot(rec.tenant)];
+    }
+    return true;
+  }
+  if (fault_model_->attempts_of(rec.packet_id) > 0) {
+    epoch_retry_latency_.add(rec.eject_time - rec.inject_time);
+    fault_model_->forget(rec.packet_id);
+  }
+  if (fault_routing_->degraded()) {
+    const auto minimal = static_cast<std::uint32_t>(
+        topology_->min_hops(rec.src, rec.dst) + 1);
+    if (rec.hops > minimal) {
+      const std::uint64_t extra = rec.hops - minimal;
+      epoch_rerouted_hops_ += extra;
+      if (tracking) tenant_rerouted_hops_[tenant_slot(rec.tenant)] += extra;
+    }
+  }
+  return false;
+}
+
 void Network::step(TrafficInjector* injector) {
+  if (fault_model_ != nullptr) service_faults();
   inject_due_traffic(injector);
   const double divisor = power_.clock_divisor(config_.dvfs_level);
   core_time_ += divisor;
@@ -281,6 +357,13 @@ void Network::step(TrafficInjector* injector) {
   for (int node = 0; node < n; ++node) {
     const auto idx = static_cast<std::size_t>(node);
     if (node_active_[idx] == 0) continue;
+    if (fault_model_ != nullptr) {
+      // Router slowdown: a degraded node runs only every `div` router
+      // cycles. It stays armed (its work is deferred, not done) and the
+      // credit protocol bounds what can pile up on its inbound channels.
+      const std::uint32_t div = node_step_divisor_[idx];
+      if (div > 1 && cycle_ % div != 0) continue;
+    }
     ++stepped;
     Nic& nic = *nics_[idx];
     Router& router = *routers_[idx];
@@ -293,6 +376,10 @@ void Network::step(TrafficInjector* injector) {
 
     auto& recs = nic.records();
     for (PacketRecord& rec : recs) {
+      // Corrupted deliveries never count as received: they are dropped here
+      // and either retried or declared lost. Clean deliveries additionally
+      // account retry latency and detour hops while faults are active.
+      if (fault_model_ != nullptr && account_faulted_record(rec)) continue;
       ++epoch_received_;
       ++total_received_;
       ++epoch_node_recv_[static_cast<std::size_t>(rec.dst)];
@@ -360,6 +447,10 @@ void Network::set_tenant_tracking(int num_tenants) {
   tenant_offered_.assign(n, 0);
   tenant_received_.assign(n, 0);
   tenant_flits_out_.assign(n, 0);
+  tenant_flits_dropped_.assign(n, 0);
+  tenant_retries_.assign(n, 0);
+  tenant_packets_lost_.assign(n, 0);
+  tenant_rerouted_hops_.assign(n, 0);
   tenant_latency_.assign(n, util::Accumulator{});
   tenant_latency_hist_.clear();
   tenant_latency_hist_.reserve(n);
@@ -423,6 +514,11 @@ EpochStats Network::drain_epoch_stats() {
   std::uint64_t backlog = 0;
   for (auto& nic : nics_) backlog += nic->source_queue_len();
   s.source_queue_total = backlog;
+  s.flits_dropped = epoch_flits_dropped_;
+  s.retries = epoch_retries_;
+  s.packets_lost = epoch_packets_lost_;
+  s.retry_latency = epoch_retry_latency_.mean();
+  s.rerouted_hops = epoch_rerouted_hops_;
   s.config = config_;
 
   s.tenants.resize(tenant_offered_.size());
@@ -435,9 +531,17 @@ EpochStats Network::drain_epoch_stats() {
     ts.avg_latency = tenant_latency_[i].mean();
     ts.p95_latency = tenant_latency_hist_[i].percentile(0.95);
     ts.max_latency = tenant_latency_[i].count() ? tenant_latency_[i].max() : 0.0;
+    ts.flits_dropped = tenant_flits_dropped_[i];
+    ts.retries = tenant_retries_[i];
+    ts.packets_lost = tenant_packets_lost_[i];
+    ts.rerouted_hops = tenant_rerouted_hops_[i];
     tenant_offered_[i] = 0;
     tenant_received_[i] = 0;
     tenant_flits_out_[i] = 0;
+    tenant_flits_dropped_[i] = 0;
+    tenant_retries_[i] = 0;
+    tenant_packets_lost_[i] = 0;
+    tenant_rerouted_hops_[i] = 0;
     tenant_latency_[i].reset();
     tenant_latency_hist_[i].reset();
   }
@@ -447,6 +551,11 @@ EpochStats Network::drain_epoch_stats() {
   epoch_start_cycle_ = cycle_;
   epoch_offered_ = 0;
   epoch_received_ = 0;
+  epoch_flits_dropped_ = 0;
+  epoch_retries_ = 0;
+  epoch_packets_lost_ = 0;
+  epoch_rerouted_hops_ = 0;
+  epoch_retry_latency_.reset();
   epoch_latency_.reset();
   epoch_latency_hist_.reset();
   epoch_hops_.reset();
@@ -467,6 +576,9 @@ std::vector<PacketRecord> Network::drain_records() {
 }
 
 bool Network::drained() const {
+  // A retransmission waiting on its timeout is still in the system: the
+  // fabric may be momentarily empty, but the packet will re-enter.
+  if (fault_model_ != nullptr && fault_model_->retries_pending()) return false;
   for (const auto& nic : nics_)
     if (!nic->idle()) return false;
   for (const auto& r : routers_)

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "noc/channel.h"
+#include "noc/faults.h"
 #include "noc/nic.h"
 #include "noc/power.h"
 #include "noc/router.h"
@@ -96,6 +97,11 @@ struct TenantEpochStats {
   double avg_latency = 0.0;  ///< core cycles, over measured deliveries
   double p95_latency = 0.0;
   double max_latency = 0.0;
+  // Fault accounting (zero on a healthy fabric; see noc/faults.h).
+  std::uint64_t flits_dropped = 0;  ///< flits of corrupted deliveries
+  std::uint64_t retries = 0;        ///< retransmissions re-injected
+  std::uint64_t packets_lost = 0;   ///< retry budget exhausted
+  std::uint64_t rerouted_hops = 0;  ///< extra hops vs fault-free minimum
 };
 
 /// Aggregate statistics over one measurement window (epoch).
@@ -121,6 +127,12 @@ struct EpochStats {
   double dynamic_energy_pj = 0.0;
   double static_energy_pj = 0.0;
   std::uint64_t source_queue_total = 0;  ///< backlog at epoch end
+  // Fault accounting (all zero on a healthy fabric; see noc/faults.h).
+  std::uint64_t flits_dropped = 0;  ///< flits of corrupted (discarded) packets
+  std::uint64_t retries = 0;        ///< end-to-end retransmissions re-injected
+  std::uint64_t packets_lost = 0;   ///< retry budget exhausted
+  double retry_latency = 0.0;  ///< mean latency of retried-then-delivered
+  std::uint64_t rerouted_hops = 0;  ///< extra hops vs fault-free minimal paths
   NocConfig config{};
   /// One entry per tenant when tenant tracking is enabled; empty otherwise.
   std::vector<TenantEpochStats> tenants;
@@ -178,6 +190,14 @@ class Network {
   void set_tenant_tracking(int num_tenants);
   int num_tenants() const { return static_cast<int>(tenant_offered_.size()); }
 
+  /// Attaches a deterministic fault model built from `params` (replacing any
+  /// previous one). Installs fault-aware routing on every router and arms
+  /// the per-node slowdown bookkeeping. With no model attached (the
+  /// default), every fault branch in the stepping hot path is behind a null
+  /// check and the simulation is bit-identical to a fault-free build.
+  void set_fault_model(const FaultParams& params);
+  const FaultModel* fault_model() const { return fault_model_.get(); }
+
   /// Statistics accumulated since the previous drain (or construction).
   EpochStats drain_epoch_stats();
 
@@ -210,12 +230,25 @@ class Network {
   /// Number of nodes currently armed (stepped next cycle). Observability for
   /// tests and benchmarks; a drained network decays to 0.
   int active_nodes() const;
+  /// Whether one specific node is armed. Const observability — unlike
+  /// router()/nic() it does not re-arm the node, so tests can pin *which*
+  /// nodes an external event (fault, retry, reconfig) woke.
+  bool node_armed(NodeId node) const {
+    return node_active_[static_cast<std::size_t>(node)] != 0;
+  }
 
  private:
   void wire();
   void wake(NodeId node) { node_active_[static_cast<std::size_t>(node)] = 1; }
   void wake_all();
   void inject_due_traffic(TrafficInjector* injector);
+  /// Fires due fault events and re-offers due retransmissions; called at the
+  /// top of step() only while a fault model is attached.
+  void service_faults();
+  /// Fault-path record handling: corrupted deliveries (drop + retry/lose)
+  /// and the retry/reroute accounting of clean deliveries. Returns true when
+  /// the record was corrupted and must not count as received.
+  bool account_faulted_record(const PacketRecord& rec);
   int active_capacity() const;
   void refresh_active_capacity();
   /// Accumulator index for a tenant id; ids at or above the tracked count
@@ -240,6 +273,11 @@ class Network {
   std::vector<std::unique_ptr<CreditChannel>> credit_channels_;
   std::vector<Link> links_;
   int num_links_ = 0;
+  // Fault machinery; all null/empty (and all hot-path branches dead) until
+  // set_fault_model() installs them.
+  std::unique_ptr<FaultModel> fault_model_;
+  std::unique_ptr<FaultAwareRouting> fault_routing_;
+  std::vector<std::uint32_t> node_step_divisor_;  ///< slowdown gating (>= 1)
   std::vector<NocConfig> per_router_configs_;
   double active_capacity_ = 1.0;  ///< cached; refreshed on reconfiguration
 
@@ -279,6 +317,12 @@ class Network {
   util::Accumulator epoch_active_;  ///< stepped-node fraction per cycle
   std::vector<std::uint64_t> epoch_node_recv_;
   std::vector<PacketRecord> pending_records_;
+  // Fault epoch accumulators (only touched while a fault model is attached).
+  std::uint64_t epoch_flits_dropped_ = 0;
+  std::uint64_t epoch_retries_ = 0;
+  std::uint64_t epoch_packets_lost_ = 0;
+  std::uint64_t epoch_rerouted_hops_ = 0;
+  util::Accumulator epoch_retry_latency_;
 
   // Per-tenant epoch accumulators; empty unless tenant tracking is enabled.
   std::vector<std::uint64_t> tenant_offered_;
@@ -286,6 +330,10 @@ class Network {
   std::vector<std::uint64_t> tenant_flits_out_;
   std::vector<util::Accumulator> tenant_latency_;
   std::vector<util::Histogram> tenant_latency_hist_;
+  std::vector<std::uint64_t> tenant_flits_dropped_;
+  std::vector<std::uint64_t> tenant_retries_;
+  std::vector<std::uint64_t> tenant_packets_lost_;
+  std::vector<std::uint64_t> tenant_rerouted_hops_;
 
   std::uint64_t total_offered_ = 0;
   std::uint64_t total_received_ = 0;

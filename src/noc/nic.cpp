@@ -65,9 +65,11 @@ void Nic::step(Cycle cycle, double core_time) {
       if (is_head(flit.type)) {
         assert(!rx.active && "head flit interleaved into busy ejection VC");
         rx.active = true;
+        rx.corrupted = false;
         rx.expected_seq = 0;
       }
       assert(rx.active);
+      rx.corrupted = rx.corrupted || flit.corrupted;
       assert(flit.seq == rx.expected_seq && "flit reordering within a VC");
       ++rx.expected_seq;
       ++ejected_flits_;
@@ -84,6 +86,7 @@ void Nic::step(Cycle cycle, double core_time) {
         rec.hops = flit.hops;
         rec.measured = flit.measured;
         rec.tenant = flit.tenant;
+        rec.corrupted = rx.corrupted;
         records_.push_back(rec);
         ++received_packets_;
       }

@@ -24,6 +24,9 @@ struct PacketRecord {
   bool measured = false;
   std::uint16_t tenant = 0;       ///< originating tenant (0 outside
                                   ///< multi-tenant scenarios)
+  /// True when any flit of the packet crossed a faulted link; the packet
+  /// does not count as received (the fault model retries or drops it).
+  bool corrupted = false;
 };
 
 struct NicParams {
@@ -95,6 +98,7 @@ class Nic {
   /// ejection VC.
   struct RxState {
     bool active = false;
+    bool corrupted = false;  ///< any flit so far carried a fault mark
     std::uint16_t expected_seq = 0;
   };
 

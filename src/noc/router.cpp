@@ -5,6 +5,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "noc/faults.h"
+
 namespace drlnoc::noc {
 
 RouterActivity& RouterActivity::operator+=(const RouterActivity& o) {
@@ -18,7 +20,7 @@ RouterActivity& RouterActivity::operator+=(const RouterActivity& o) {
 }
 
 Router::Router(NodeId id, RouterParams params, const RoutingAlgorithm& routing)
-    : id_(id), params_(params), routing_(routing),
+    : id_(id), params_(params), routing_(&routing),
       ports_(static_cast<std::size_t>(params.num_ports)),
       inputs_(static_cast<std::size_t>(params.num_ports * params.max_vcs)),
       outputs_(static_cast<std::size_t>(params.num_ports * params.max_vcs)),
@@ -170,7 +172,7 @@ void Router::route_compute() {
     assert(is_head(head.type) &&
            "input VC idle but head-of-line flit is not a packet head");
     in.candidates.clear();
-    routing_.route(head, id_, idx / params_.max_vcs, in.candidates);
+    routing_->route(head, id_, idx / params_.max_vcs, in.candidates);
     assert(!in.candidates.empty());
     meta.state = VcState::kVcAlloc;
     va_list_.push_back(idx);
@@ -334,6 +336,14 @@ void Router::switch_allocate_and_traverse(Cycle cycle) {
     // routing function for dateline bookkeeping.
     flit.vc_class = static_cast<std::uint8_t>(out_vc / vcs_per_class_);
     ++flit.hops;
+    // Link-fault hook: inter-router traversals may corrupt the flit (dead
+    // link, or transient at link_fault_rate). The flit keeps flowing so
+    // credits and quiescence counters stay exact; the destination NIC
+    // discards the corrupted packet end to end.
+    if (fault_model_ != nullptr && op != kLocalPort && !flit.corrupted &&
+        fault_model_->corrupt_on_link(id_, op, flit, cycle)) {
+      flit.corrupted = true;
+    }
     const bool tail = is_tail(flit.type);
     ++activity_.buffer_reads;
     ++activity_.xbar_traversals;

@@ -27,6 +27,8 @@
 
 namespace drlnoc::noc {
 
+class FaultModel;
+
 /// Energy-event counters; consumed by the power model and reset per epoch.
 struct RouterActivity {
   std::uint64_t buffer_writes = 0;
@@ -83,6 +85,13 @@ class Router {
   /// every (re)configuration; defaults to this router's own active_vcs.
   void set_output_active_vcs(PortId port, int vcs);
   int output_active_vcs(PortId port) const;
+
+  /// Swaps the routing function (e.g. for fault-aware rerouting). The new
+  /// algorithm must outlive the router; takes effect from the next RC stage.
+  void set_routing(const RoutingAlgorithm& routing) { routing_ = &routing; }
+  /// Attaches a fault model consulted at link traversal (null detaches).
+  /// With no model attached the ST stage is unchanged (healthy fast path).
+  void set_fault_model(const FaultModel* model) { fault_model_ = model; }
 
   NodeId id() const { return id_; }
   const RouterParams& params() const { return params_; }
@@ -170,7 +179,8 @@ class Router {
 
   NodeId id_;
   RouterParams params_;
-  const RoutingAlgorithm& routing_;
+  const RoutingAlgorithm* routing_;
+  const FaultModel* fault_model_ = nullptr;
   std::vector<PortWiring> ports_;
   std::vector<InputVc> inputs_;
   std::vector<OutputVc> outputs_;

@@ -65,8 +65,10 @@ SteadyResult run_steady_state(Network& net, TrafficInjector& workload,
 
 SteadyResult measure_point(const NetworkParams& net_params,
                            const std::string& pattern, double rate,
-                           const SteadyRunParams& run_params) {
+                           const SteadyRunParams& run_params,
+                           const FaultParams& faults) {
   Network net(net_params);
+  if (faults.enabled()) net.set_fault_model(faults);
   SteadyWorkload workload =
       SteadyWorkload::make(net.topology(), pattern, rate);
   SteadyResult result = run_steady_state(net, workload, run_params);
@@ -79,7 +81,7 @@ std::vector<SteadyResult> measure_points(const std::vector<SweepPoint>& points,
   return util::parallel_map<SteadyResult>(
       static_cast<int>(points.size()), jobs, [&points](int i) {
         const SweepPoint& p = points[static_cast<std::size_t>(i)];
-        return measure_point(p.net, p.pattern, p.rate, p.run);
+        return measure_point(p.net, p.pattern, p.rate, p.run, p.faults);
       });
 }
 

@@ -32,9 +32,12 @@ SteadyResult run_steady_state(Network& net, TrafficInjector& workload,
 
 /// Convenience wrapper: builds a fresh network with the given parameters,
 /// runs a steady-state experiment at `rate` on `pattern`, returns stats.
+/// A non-default `faults` (FaultParams::enabled()) attaches a deterministic
+/// fault model to the fresh network before the run.
 SteadyResult measure_point(const NetworkParams& net_params,
                            const std::string& pattern, double rate,
-                           const SteadyRunParams& run_params = {});
+                           const SteadyRunParams& run_params = {},
+                           const FaultParams& faults = {});
 
 /// One point of a load sweep: the network/pattern/rate triple measured by
 /// measure_points. Curves mix topologies (e.g. mesh vs torus per rate), so
@@ -44,6 +47,7 @@ struct SweepPoint {
   std::string pattern = "uniform";
   double rate = 0.0;
   SteadyRunParams run{};
+  FaultParams faults{};  ///< attached when enabled(); default = healthy
 };
 
 /// Measures every point concurrently across `jobs` threads (the default 1

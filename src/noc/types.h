@@ -45,6 +45,10 @@ struct Flit {
   bool measured = false;          ///< true if within the measurement window
   std::uint32_t hops = 0;         ///< router traversals so far
   std::uint16_t tenant = 0;       ///< originating tenant (multi-tenant runs)
+  /// Set when the flit crossed a faulted link (see noc/faults.h). Corrupted
+  /// flits keep flowing — credits and quiescence counters stay exact — and
+  /// the packet is discarded end-to-end at the destination NIC.
+  bool corrupted = false;
 };
 
 /// Credit returned upstream when a buffer slot frees.

@@ -15,7 +15,12 @@
 namespace drlnoc::scenario {
 
 std::unique_ptr<noc::Network> build_network(const Scenario& scenario) {
-  return std::make_unique<noc::Network>(scenario.net);
+  auto net = std::make_unique<noc::Network>(scenario.net);
+  // Fault-free scenarios never attach a model, keeping the stepping hot
+  // path (and every golden determinism hash) bit-identical to a build
+  // without the fault layer.
+  if (scenario.faults.enabled()) net->set_fault_model(scenario.faults);
+  return net;
 }
 
 std::unique_ptr<CompositeWorkload> build_workload(const Scenario& scenario,

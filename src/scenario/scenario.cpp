@@ -153,6 +153,15 @@ void Scenario::validate() const {
     validate_tenant(tenants[i], num_nodes, static_cast<int>(i));
   }
   validate_controller(controller);
+  faults.validate();
+  if (faults.enabled()) {
+    // Topology-dependent checks, including the fail-fast rejection of
+    // cycle-0 link deaths that disconnect the fabric. Building the topology
+    // is cheap (a static graph; no routers or channels).
+    const auto topo =
+        noc::make_topology(net.topology, net.width, net.height);
+    faults.validate(*topo);
+  }
   if (duration == 0.0) {
     // Without a horizon the run ends when every tenant finishes; an
     // open-ended synthetic tenant would spin to the cycle limit. Looping

@@ -108,6 +108,10 @@ struct Scenario {
   std::uint64_t cycle_limit = 2000000;
   /// Optional controller schedule for standalone runs ([controller] block).
   ControllerSchedule controller{};
+  /// Optional deterministic fault schedule ([faults] block): transient link
+  /// corruption rate, retry policy, and scheduled link-down/slowdown events.
+  /// Disabled (all-zero) by default; see noc/faults.h.
+  noc::FaultParams faults{};
 
   int num_tenants() const { return static_cast<int>(tenants.size()); }
   /// True when any tenant departs from the default best-effort class; only
@@ -122,8 +126,10 @@ struct Scenario {
   /// a scenario with no finite horizon (every tenant open-ended synthetic
   /// and duration 0 would never terminate), QoS targets that contradict the
   /// class (latency-critical without a p95_target, targets on other
-  /// classes), or a controller schedule with an unknown type / a drl
-  /// schedule without a policy.
+  /// classes), a controller schedule with an unknown type / a drl
+  /// schedule without a policy, or a fault schedule that is out of range /
+  /// whose cycle-0 link deaths disconnect the topology (fail fast instead
+  /// of mid-run).
   void validate() const;
 };
 

@@ -100,6 +100,56 @@ TenantSpec parse_tenant(const TrackedConfig& c, int index, int num_nodes,
   return t;
 }
 
+noc::FaultParams parse_faults(const TrackedConfig& c) {
+  noc::FaultParams f;
+  f.seed = static_cast<std::uint64_t>(
+      c.get("faults.seed", static_cast<long long>(f.seed)));
+  f.link_fault_rate = c.get("faults.link_fault_rate", f.link_fault_rate);
+  const long long timeout = c.get("faults.retry_timeout",
+                                  static_cast<long long>(f.retry_timeout));
+  if (timeout < 1) {
+    // Checked before the uint64 cast (same wrap hazard as epoch_cycles).
+    throw std::invalid_argument(
+        "scenario: faults.retry_timeout must be >= 1, got " +
+        std::to_string(timeout));
+  }
+  f.retry_timeout = static_cast<noc::Cycle>(timeout);
+  f.retry_backoff = c.get("faults.retry_backoff", f.retry_backoff);
+  f.retry_budget = c.get("faults.retry_budget", f.retry_budget);
+  const int events = c.get("faults.events", 0);
+  if (events < 0) {
+    throw std::invalid_argument("scenario: faults.events must be >= 0");
+  }
+  for (int k = 0; k < events; ++k) {
+    const std::string ep = "faults.event" + std::to_string(k) + ".";
+    noc::FaultEvent e;
+    const long long at = c.get(ep + "at_cycle", 0LL);
+    if (at < 0) {
+      throw std::invalid_argument("scenario: " + ep +
+                                  "at_cycle must be >= 0");
+    }
+    e.at_cycle = static_cast<noc::Cycle>(at);
+    const std::string kind = c.str(ep + "kind", "link_down");
+    if (kind == "link_down") {
+      e.kind = noc::FaultEvent::Kind::kLinkDown;
+    } else if (kind == "slowdown") {
+      e.kind = noc::FaultEvent::Kind::kSlowdown;
+    } else {
+      throw std::invalid_argument("scenario: " + ep +
+                                  "kind must be link_down|slowdown, got '" +
+                                  kind + "'");
+    }
+    e.node = c.get(ep + "node", e.node);
+    e.port = c.get(ep + "port", e.port);
+    e.factor = c.get(ep + "factor", e.factor);
+    f.events.push_back(e);
+  }
+  // Range/shape checks fire here so a bad file is rejected with the faults:
+  // message even before Scenario::validate runs.
+  f.validate();
+  return f;
+}
+
 ControllerSchedule parse_controller(const TrackedConfig& c,
                                     const std::string& base_dir) {
   ControllerSchedule ctl;
@@ -143,7 +193,9 @@ Scenario ScenarioReader::read_text(const std::string& text,
   std::string line;
   std::string rest;
   bool magic_seen = false;
-  bool in_controller = false;
+  bool seen_controller = false;
+  bool seen_faults = false;
+  std::string section_prefix;
   while (std::getline(in, line)) {
     if (!magic_seen) {
       std::string stripped = line;
@@ -165,9 +217,10 @@ Scenario ScenarioReader::read_text(const std::string& text,
       magic_seen = true;
       continue;
     }
-    // Section headers: `[controller]` prefixes every following key with
-    // `controller.` so the block reads like an INI section. Duplicates and
-    // unknown sections are rejected like unknown keys.
+    // Section headers: `[controller]` / `[faults]` prefix every following
+    // key with `controller.` / `faults.` so the blocks read like INI
+    // sections. Duplicates and unknown sections are rejected like unknown
+    // keys.
     std::string stripped = line;
     const auto hash = stripped.find('#');
     if (hash != std::string::npos) stripped.erase(hash);
@@ -175,19 +228,27 @@ Scenario ScenarioReader::read_text(const std::string& text,
     const auto e = stripped.find_last_not_of(" \t\r");
     if (b != std::string::npos && stripped[b] == '[') {
       const std::string section = stripped.substr(b, e - b + 1);
-      if (section != "[controller]") {
+      if (section == "[controller]") {
+        if (seen_controller) {
+          throw std::invalid_argument(
+              "scenario: duplicate [controller] block");
+        }
+        seen_controller = true;
+        section_prefix = "controller.";
+      } else if (section == "[faults]") {
+        if (seen_faults) {
+          throw std::invalid_argument("scenario: duplicate [faults] block");
+        }
+        seen_faults = true;
+        section_prefix = "faults.";
+      } else {
         throw std::invalid_argument("scenario: unknown section '" + section +
                                     "'");
       }
-      if (in_controller) {
-        throw std::invalid_argument(
-            "scenario: duplicate [controller] block");
-      }
-      in_controller = true;
       continue;
     }
-    if (in_controller && b != std::string::npos) {
-      rest += "controller.";
+    if (!section_prefix.empty() && b != std::string::npos) {
+      rest += section_prefix;
       rest += stripped.substr(b, e - b + 1);
     } else {
       rest += line;
@@ -233,6 +294,7 @@ Scenario ScenarioReader::read_text(const std::string& text,
     s.tenants.push_back(parse_tenant(c, i, num_nodes, base_dir));
   }
   s.controller = parse_controller(c, base_dir);
+  s.faults = parse_faults(c);
 
   for (const std::string& key : cfg.keys()) {
     if (!consumed.count(key)) {
@@ -343,6 +405,31 @@ void ScenarioWriter::write_text(std::ostream& os, const Scenario& s) {
     }
     os << "epoch_cycles = " << s.controller.epoch_cycles << "\n";
     os << "epochs = " << s.controller.epochs << "\n";
+  }
+  // The [faults] block only appears when faults are configured, so
+  // fault-free scenarios serialise exactly as before the fault extension.
+  if (s.faults.enabled()) {
+    os << "\n[faults]\n";
+    os << "seed = " << s.faults.seed << "\n";
+    os << "link_fault_rate = " << s.faults.link_fault_rate << "\n";
+    os << "retry_timeout = " << s.faults.retry_timeout << "\n";
+    os << "retry_backoff = " << s.faults.retry_backoff << "\n";
+    os << "retry_budget = " << s.faults.retry_budget << "\n";
+    if (!s.faults.events.empty()) {
+      os << "events = " << s.faults.events.size() << "\n";
+      for (std::size_t k = 0; k < s.faults.events.size(); ++k) {
+        const noc::FaultEvent& ev = s.faults.events[k];
+        const std::string ep = "event" + std::to_string(k) + ".";
+        os << ep << "at_cycle = " << ev.at_cycle << "\n";
+        os << ep << "kind = " << noc::to_string(ev.kind) << "\n";
+        os << ep << "node = " << ev.node << "\n";
+        if (ev.kind == noc::FaultEvent::Kind::kLinkDown) {
+          os << ep << "port = " << ev.port << "\n";
+        } else {
+          os << ep << "factor = " << ev.factor << "\n";
+        }
+      }
+    }
   }
   os.precision(old_precision);
 }

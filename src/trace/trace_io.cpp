@@ -230,9 +230,14 @@ Trace TraceReader::read_binary(std::istream& is) {
   std::ostringstream ss;
   ss << is.rdbuf();
   const std::string data = ss.str();
-  if (data.size() < kHeaderBytes ||
+  if (data.size() < sizeof(kMagic) ||
       std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
     throw std::runtime_error("trace binary: bad magic");
+  }
+  if (data.size() < kHeaderBytes) {
+    throw std::runtime_error("trace binary: truncated header: " +
+                             std::to_string(data.size()) + " of " +
+                             std::to_string(kHeaderBytes) + " bytes");
   }
   ByteCursor header(data, sizeof(kMagic));
   const std::uint16_t version = header.u16();
@@ -249,13 +254,30 @@ Trace TraceReader::read_binary(std::istream& is) {
 
   const std::size_t deps_base =
       kHeaderBytes + kRecordBytes * static_cast<std::size_t>(record_count);
+  if (data.size() < deps_base) {
+    // Point at the first record the file ends inside of, so a corrupted
+    // artifact is diagnosable without a hex dump.
+    const std::size_t complete = (data.size() - kHeaderBytes) / kRecordBytes;
+    throw std::runtime_error(
+        "trace binary: truncated file: header declares " +
+        std::to_string(record_count) + " records but the data ends inside "
+        "record " + std::to_string(complete) + " (" +
+        std::to_string(data.size()) + " of " +
+        std::to_string(deps_base + 8 * static_cast<std::size_t>(dep_total)) +
+        " bytes)");
+  }
   if (data.size() < deps_base + 8 * static_cast<std::size_t>(dep_total)) {
-    throw std::runtime_error("trace binary: truncated file");
+    const std::size_t have = (data.size() - deps_base) / 8;
+    throw std::runtime_error(
+        "trace binary: truncated file: header declares " +
+        std::to_string(dep_total) + " dependency entries but only " +
+        std::to_string(have) + " fit in the data");
   }
 
   trace.records.resize(static_cast<std::size_t>(record_count));
   ByteCursor cur(data, kHeaderBytes);
-  for (TraceRecord& r : trace.records) {
+  for (std::size_t i = 0; i < trace.records.size(); ++i) {
+    TraceRecord& r = trace.records[i];
     r.id = cur.u64();
     r.src = cur.i32();
     r.dst = cur.i32();
@@ -264,7 +286,9 @@ Trace TraceReader::read_binary(std::istream& is) {
     const std::uint16_t dep_count = cur.u16();
     const std::uint32_t dep_offset = cur.u32();
     if (static_cast<std::uint64_t>(dep_offset) + dep_count > dep_total) {
-      throw std::runtime_error("trace binary: dependency slice out of range");
+      throw std::runtime_error(
+          "trace binary: dependency slice out of range on record " +
+          std::to_string(i));
     }
     ByteCursor deps(data, deps_base + 8 * static_cast<std::size_t>(dep_offset));
     r.deps.resize(dep_count);
@@ -299,12 +323,18 @@ Trace TraceReader::read_file(const std::string& path) {
   in.read(magic, sizeof(magic));
   in.clear();
   in.seekg(0);
-  Trace trace = (in.gcount() == sizeof(magic) &&
-                 std::memcmp(magic, kMagic, sizeof(kMagic)) == 0)
-                    ? read_binary(in)
-                    : read_text(in);
-  trace.validate();
-  return trace;
+  try {
+    Trace trace = (in.gcount() == sizeof(magic) &&
+                   std::memcmp(magic, kMagic, sizeof(kMagic)) == 0)
+                      ? read_binary(in)
+                      : read_text(in);
+    trace.validate();
+    return trace;
+  } catch (const std::exception& e) {
+    // Name the file: stream overloads can't know it, but every CLI-facing
+    // failure should say which artifact is broken.
+    throw std::runtime_error(path + ": " + e.what());
+  }
 }
 
 }  // namespace drlnoc::trace

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -85,25 +88,66 @@ std::string Config::get(const std::string& key,
 long long Config::get(const std::string& key, long long fallback) const {
   auto v = raw(key);
   if (!v) return fallback;
-  try {
-    return std::stoll(*v);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("bad integer for " + key + ": " + *v);
+  // Strict full-string parse: unlike std::stoll, trailing garbage
+  // ("8x", "1.5") and out-of-range magnitudes are hard errors, so a typo
+  // in a flag or config file can't silently truncate to a valid number.
+  const std::string& s = *v;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  if (first != last && *first == '+') ++first;  // from_chars rejects '+'
+  long long value = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec == std::errc::result_out_of_range) {
+    throw std::invalid_argument("bad integer for " + key + ": " + s +
+                                " (out of range)");
   }
+  if (ec != std::errc() || first == last) {
+    throw std::invalid_argument("bad integer for " + key + ": " + s);
+  }
+  if (ptr != last) {
+    throw std::invalid_argument("bad integer for " + key + ": " + s +
+                                " (trailing characters)");
+  }
+  return value;
 }
 
 int Config::get(const std::string& key, int fallback) const {
-  return static_cast<int>(get(key, static_cast<long long>(fallback)));
+  const long long wide = get(key, static_cast<long long>(fallback));
+  if (wide < std::numeric_limits<int>::min() ||
+      wide > std::numeric_limits<int>::max()) {
+    throw std::invalid_argument("bad integer for " + key + ": " +
+                                *raw(key) + " (out of range)");
+  }
+  return static_cast<int>(wide);
 }
 
 double Config::get(const std::string& key, double fallback) const {
   auto v = raw(key);
   if (!v) return fallback;
-  try {
-    return std::stod(*v);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("bad number for " + key + ": " + *v);
+  // Strict full-string parse; "inf" stays accepted (open-ended tenant stop
+  // times serialize as inf) but NaN never names a meaningful knob value.
+  const std::string& s = *v;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  if (first != last && *first == '+') ++first;  // from_chars rejects '+'
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec == std::errc::result_out_of_range) {
+    throw std::invalid_argument("bad number for " + key + ": " + s +
+                                " (out of range)");
   }
+  if (ec != std::errc() || first == last) {
+    throw std::invalid_argument("bad number for " + key + ": " + s);
+  }
+  if (ptr != last) {
+    throw std::invalid_argument("bad number for " + key + ": " + s +
+                                " (trailing characters)");
+  }
+  if (std::isnan(value)) {
+    throw std::invalid_argument("bad number for " + key + ": " + s +
+                                " (NaN is never a valid knob value)");
+  }
+  return value;
 }
 
 bool Config::get(const std::string& key, bool fallback) const {

@@ -254,5 +254,127 @@ TEST(Quiescence, DrainedNetworkStepsAreNoOps) {
   EXPECT_EQ(idle.avg_buffer_occupancy, 0.0);
 }
 
+// --- fault events x quiescence ---------------------------------------------
+// External mutation through the fault layer must re-arm exactly the nodes
+// the event touches, and a re-armed idle node must re-quiesce on its own.
+
+// A slowdown on a fully drained fabric wakes only the target node. The event
+// cycle is chosen so the new divisor gates the first step (1001 % 4 != 0),
+// which keeps the node observably armed; at the next divisor boundary the
+// idle node steps once and leaves the worklist again.
+TEST(Quiescence, SlowdownOnDrainedFabricArmsExactlyTarget) {
+  noc::NetworkParams p;
+  p.width = p.height = 4;
+  p.seed = 11;
+  noc::Network net(p);
+
+  noc::FaultParams fp;
+  noc::FaultEvent ev;
+  ev.at_cycle = 1001;
+  ev.kind = noc::FaultEvent::Kind::kSlowdown;
+  ev.node = 10;
+  ev.factor = 4;
+  fp.events = {ev};
+  net.set_fault_model(fp);
+
+  noc::SteadyWorkload w =
+      noc::SteadyWorkload::make(net.topology(), "uniform", 0.10);
+  (void)net.run_epoch(&w, 400);
+  (void)net.run_epoch(nullptr, 400);  // drained long before cycle 1001
+  ASSERT_TRUE(net.drained());
+  ASSERT_EQ(net.active_nodes(), 0);
+
+  while (net.cycle() <= 1001) net.step(nullptr);
+  EXPECT_EQ(net.active_nodes(), 1);
+  EXPECT_TRUE(net.node_armed(10));
+
+  for (int i = 0; i < 8; ++i) net.step(nullptr);  // crosses a %4 boundary
+  EXPECT_EQ(net.active_nodes(), 0);
+  EXPECT_TRUE(net.drained());
+}
+
+// A permanent link failure changes minimal paths fabric-wide, so the event
+// must wake *every* node for exactly one step — even on an idle fabric —
+// and they must all re-quiesce immediately after re-running under the new
+// tables.
+TEST(Quiescence, LinkDownOnDrainedFabricRearmsEveryNode) {
+  noc::NetworkParams p;
+  p.width = p.height = 4;
+  p.seed = 13;
+  noc::Network net(p);
+
+  noc::FaultParams fp;
+  noc::FaultEvent ev;
+  ev.at_cycle = 900;
+  ev.kind = noc::FaultEvent::Kind::kLinkDown;
+  ev.node = 5;
+  ev.port = 1;  // east output of node 5
+  fp.events = {ev};
+  net.set_fault_model(fp);
+
+  noc::SteadyWorkload w =
+      noc::SteadyWorkload::make(net.topology(), "uniform", 0.10);
+  (void)net.run_epoch(&w, 300);
+  (void)net.run_epoch(nullptr, 500);
+  ASSERT_TRUE(net.drained());
+  ASSERT_EQ(net.active_nodes(), 0);
+
+  while (net.cycle() < 900) net.step(nullptr);  // idle run-up to the event
+  const noc::EpochStats idle = net.drain_epoch_stats();
+  EXPECT_EQ(idle.avg_active_fraction, 0.0);
+
+  net.step(nullptr);  // cycle 900: link dies, routing recomputes
+  const noc::EpochStats fire = net.drain_epoch_stats();
+  EXPECT_EQ(fire.avg_active_fraction, 1.0);
+  // Waking was exact, not sticky: every idle router stepped once under the
+  // recomputed tables and immediately left the worklist again.
+  EXPECT_EQ(net.active_nodes(), 0);
+  EXPECT_TRUE(net.drained());
+}
+
+// A pending retransmission is in-system state: the fabric may be physically
+// silent (zero armed nodes) yet must not report drained until the timer
+// fires, and the firing must wake exactly the source NIC. With rate 1.0 the
+// retry corrupts too, exhausting the budget of 1 and losing the packet.
+TEST(Quiescence, PendingRetryBlocksDrainAndWakesExactlySource) {
+  noc::NetworkParams p;
+  p.width = p.height = 4;
+  p.seed = 7;
+  noc::Network net(p);
+
+  noc::FaultParams fp;
+  fp.link_fault_rate = 1.0;  // every link traversal corrupts
+  fp.retry_timeout = 300;    // long enough for a full physical drain first
+  fp.retry_backoff = 1.0;
+  fp.retry_budget = 1;
+  net.set_fault_model(fp);
+
+  net.nic(0).offer_packet(/*dst=*/1, /*core_time=*/0.0, /*measured=*/true,
+                          /*packet_id=*/1, /*length=*/4, /*tenant=*/0);
+  int guard = 0;
+  do {
+    net.step(nullptr);
+  } while (net.active_nodes() > 0 && ++guard < 1000);
+  ASSERT_LT(guard, 1000);
+  // Physically silent, but the retransmission timer holds the drain.
+  EXPECT_EQ(net.active_nodes(), 0);
+  EXPECT_FALSE(net.drained());
+
+  guard = 0;
+  while (net.active_nodes() == 0 && ++guard < 2000) net.step(nullptr);
+  ASSERT_LT(guard, 2000);
+  EXPECT_EQ(net.active_nodes(), 1);
+  EXPECT_TRUE(net.node_armed(0));  // the retry woke exactly the source
+
+  guard = 0;
+  while (!net.drained() && ++guard < 2000) net.step(nullptr);
+  EXPECT_TRUE(net.drained());
+  const noc::EpochStats s = net.drain_epoch_stats();
+  EXPECT_EQ(s.packets_received, 0u);  // both attempts arrived corrupted
+  EXPECT_EQ(s.retries, 1u);
+  EXPECT_EQ(s.packets_lost, 1u);
+  EXPECT_EQ(s.flits_dropped, 8u);  // 4 flits on the first try + 4 retried
+}
+
 }  // namespace
 }  // namespace drlnoc

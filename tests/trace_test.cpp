@@ -5,6 +5,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <fstream>
 #include <limits>
 #include <memory>
 #include <sstream>
@@ -83,6 +84,67 @@ TEST(TraceIo, TextRejectsMalformedInput) {
   std::stringstream spaced_deps(
       "drltrc 1\nnodes 4\n1 0 1 0 4\n2 1 0 0 4\n3 0 1 5 4 1 2\n");
   EXPECT_THROW(TraceReader::read_text(spaced_deps), std::runtime_error);
+}
+
+TEST(TraceIo, TruncationNamesRecordIndex) {
+  std::stringstream ss;
+  TraceWriter::write_binary(ss, small_trace());
+  const std::string full = ss.str();
+
+  // Cut inside record 2 (header is 32 bytes, each record 32 bytes).
+  std::stringstream mid_record(full.substr(0, 32 + 32 * 2 + 7));
+  try {
+    TraceReader::read_binary(mid_record);
+    FAIL() << "truncated stream accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("ends inside record 2"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("declares 4 records"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // Cut inside the dependency table (small_trace has 3 dep entries).
+  std::stringstream mid_deps(full.substr(0, full.size() - 4));
+  try {
+    TraceReader::read_binary(mid_deps);
+    FAIL() << "truncated dependency table accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("3 dependency entries"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // A header shorter than 32 bytes is its own diagnostic.
+  std::stringstream short_header(full.substr(0, 16));
+  try {
+    TraceReader::read_binary(short_header);
+    FAIL() << "truncated header accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated header"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIo, TruncatedFileErrorNamesFile) {
+  const std::string path = ::testing::TempDir() + "trace_trunc.drltrb";
+  std::stringstream ss;
+  TraceWriter::write_binary(ss, small_trace());
+  const std::string full = ss.str();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(full.data(), static_cast<std::streamsize>(full.size() / 2));
+  }
+  try {
+    TraceReader::read_file(path);
+    FAIL() << "truncated file accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("ends inside record"), std::string::npos) << what;
+  }
 }
 
 TEST(TraceIo, FileRoundTripBothFormats) {

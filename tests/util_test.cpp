@@ -214,6 +214,64 @@ TEST(Config, BooleanParsing) {
   EXPECT_THROW(cfg.get("z", false), std::invalid_argument);
 }
 
+// Captures the rejection message so each strict-parsing test can pin the
+// exact wording users see for a bad flag.
+template <typename Fn>
+std::string rejection(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(Config, RejectsTrailingGarbageOnNumbers) {
+  // std::stod("0.1x") silently returned 0.1; a typo'd unit suffix must be
+  // a hard error, not a quietly truncated value.
+  Config cfg = Config::from_text("rate=0.1x\njobs=8x\ndepth=4.0");
+  EXPECT_EQ(rejection([&] { cfg.get("rate", 0.0); }),
+            "bad number for rate: 0.1x (trailing characters)");
+  EXPECT_EQ(rejection([&] { cfg.get("jobs", 0); }),
+            "bad integer for jobs: 8x (trailing characters)");
+  // "4.0" is a number but not an integer.
+  EXPECT_EQ(rejection([&] { cfg.get("depth", 0); }),
+            "bad integer for depth: 4.0 (trailing characters)");
+}
+
+TEST(Config, RejectsOverflow) {
+  Config cfg =
+      Config::from_text("wide=99999999999999999999999\nnarrow=3000000000\n"
+                        "huge=1e999");
+  EXPECT_EQ(rejection([&] { cfg.get("wide", 0LL); }),
+            "bad integer for wide: 99999999999999999999999 (out of range)");
+  // Fits in long long but not int: the int overload must not truncate.
+  EXPECT_EQ(cfg.get("narrow", 0LL), 3000000000LL);
+  EXPECT_EQ(rejection([&] { cfg.get("narrow", 0); }),
+            "bad integer for narrow: 3000000000 (out of range)");
+  EXPECT_EQ(rejection([&] { cfg.get("huge", 0.0); }),
+            "bad number for huge: 1e999 (out of range)");
+}
+
+TEST(Config, RejectsNaNButKeepsInfinity) {
+  Config cfg = Config::from_text("bad=nan\nstop=inf\nneg=-inf");
+  EXPECT_EQ(rejection([&] { cfg.get("bad", 0.0); }),
+            "bad number for bad: nan (NaN is never a valid knob value)");
+  // Open-ended tenant stop times serialize as inf; it must stay parseable.
+  EXPECT_TRUE(std::isinf(cfg.get("stop", 0.0)));
+  EXPECT_LT(cfg.get("neg", 0.0), 0.0);
+}
+
+TEST(Config, RejectsEmptyAndSignOnlyValues) {
+  Config cfg = Config::from_text("a=+\nb=-");
+  EXPECT_EQ(rejection([&] { cfg.get("a", 0); }), "bad integer for a: +");
+  EXPECT_EQ(rejection([&] { cfg.get("b", 0.0); }), "bad number for b: -");
+  // Leading '+' on an otherwise valid number is accepted (shell habit).
+  Config plus = Config::from_text("r=+0.5\nn=+12");
+  EXPECT_DOUBLE_EQ(plus.get("r", 0.0), 0.5);
+  EXPECT_EQ(plus.get("n", 0), 12);
+}
+
 TEST(Table, RowReturnsReferenceIntoTable) {
   // Regression: `util::Table& row = t.row()` must append to the table
   // itself; binding to `auto` (a copy) once silently produced empty tables.

@@ -32,6 +32,8 @@ constexpr const char* kUsage =
     "  validate file=X\n"
     "  describe file=X\n"
     "  run      file=X [cycle_limit=N] [duration=T] [seed=S]\n"
+    "           [fault_rate=P] [fault_seed=S] [fault_timeout=N]\n"
+    "           [fault_backoff=B] [fault_budget=N]\n"
     "           (scheduled: [epochs=N] [epoch_cycles=N])\n"
     "Pass --help after a subcommand for its full option list; the .drlsc\n"
     "format is specified in docs/FORMATS.md.\n";
@@ -65,6 +67,10 @@ int help(const std::string& command) {
            "latency/throughput/energy. Exit 0 only when every tenant\n"
            "finished and the fabric drained within the cycle limit\n"
            "(cycle_limit=/duration=/seed= override the file).\n"
+           "Fault overrides — fault_rate= fault_seed= fault_timeout=\n"
+           "fault_backoff= fault_budget= — tweak (or switch on) the\n"
+           "scenario's [faults] section; the merged config is re-validated,\n"
+           "so out-of-range overrides fail like a bad file.\n"
            "With a [controller] block the run is instead a fixed-length\n"
            "scheduled policy evaluation (static/heuristic/trained-DRL)\n"
            "reporting per-tenant latency and SLO hit rates; epochs= and\n"
@@ -127,6 +133,24 @@ void describe_tenants(const scenario::Scenario& s) {
               << ", " << s.controller.epochs << " epochs x "
               << s.controller.epoch_cycles << " router cycles\n";
   }
+  if (s.faults.enabled()) {
+    std::cout << "\nfaults: seed " << s.faults.seed << ", link_fault_rate "
+              << util::fmt(s.faults.link_fault_rate, 6) << ", retry timeout "
+              << s.faults.retry_timeout << " x backoff "
+              << util::fmt(s.faults.retry_backoff, 2) << ", budget "
+              << s.faults.retry_budget << "\n";
+    for (std::size_t k = 0; k < s.faults.events.size(); ++k) {
+      const noc::FaultEvent& ev = s.faults.events[k];
+      std::cout << "  event" << k << ": cycle " << ev.at_cycle << " "
+                << noc::to_string(ev.kind) << " node " << ev.node;
+      if (ev.kind == noc::FaultEvent::Kind::kLinkDown) {
+        std::cout << " port " << ev.port;
+      } else {
+        std::cout << " factor " << ev.factor;
+      }
+      std::cout << "\n";
+    }
+  }
 }
 
 int cmd_validate(const util::Config& cfg) {
@@ -175,6 +199,15 @@ int run_with_schedule(const scenario::Scenario& s) {
   agg.row().cell("mean_power_mW").cell(ep.mean_power_mw, 1);
   agg.row().cell("accepted_rate").cell(ep.accepted_rate, 5);
   agg.row().cell("backlog_end").cell(static_cast<long long>(ep.backlog_end));
+  if (s.faults.enabled()) {
+    agg.row().cell("flits_dropped").cell(
+        static_cast<long long>(ep.flits_dropped));
+    agg.row().cell("retries").cell(static_cast<long long>(ep.retries));
+    agg.row().cell("packets_lost").cell(
+        static_cast<long long>(ep.packets_lost));
+    agg.row().cell("rerouted_hops").cell(
+        static_cast<long long>(ep.rerouted_hops));
+  }
   agg.print(std::cout);
 
   if (!ep.tenants.empty()) {
@@ -200,6 +233,24 @@ int run_with_schedule(const scenario::Scenario& s) {
   return 0;
 }
 
+/// `run` fault overrides: tweak (or switch on) the [faults] section from the
+/// command line. Validation of the merged parameters happens in
+/// Scenario::validate below, so a disconnecting or out-of-range override is
+/// rejected exactly like a bad file.
+void apply_fault_overrides(const util::Config& cfg, scenario::Scenario& s) {
+  s.faults.link_fault_rate = cfg.get("fault_rate", s.faults.link_fault_rate);
+  s.faults.seed = static_cast<std::uint64_t>(
+      cfg.get("fault_seed", static_cast<long long>(s.faults.seed)));
+  const long long timeout = cfg.get(
+      "fault_timeout", static_cast<long long>(s.faults.retry_timeout));
+  if (timeout < 1) {
+    throw std::invalid_argument("scenarioctl: fault_timeout must be >= 1");
+  }
+  s.faults.retry_timeout = static_cast<noc::Cycle>(timeout);
+  s.faults.retry_backoff = cfg.get("fault_backoff", s.faults.retry_backoff);
+  s.faults.retry_budget = cfg.get("fault_budget", s.faults.retry_budget);
+}
+
 int cmd_run(const util::Config& cfg) {
   const std::string path = cfg.get("file", std::string());
   if (path.empty()) return usage();
@@ -209,6 +260,7 @@ int cmd_run(const util::Config& cfg) {
   s.duration = cfg.get("duration", s.duration);
   s.net.seed = static_cast<std::uint64_t>(
       cfg.get("seed", static_cast<long long>(s.net.seed)));
+  apply_fault_overrides(cfg, s);
   if (s.controller.scheduled()) {
     // Scheduled runs are fixed-length evaluations; their knobs are the
     // schedule's, not the drain-run horizon.
@@ -239,6 +291,15 @@ int cmd_run(const util::Config& cfg) {
   agg.row().cell("p95_latency").cell(r.stats.p95_latency, 2);
   agg.row().cell("avg_hops").cell(r.stats.avg_hops, 2);
   agg.row().cell("energy_pJ").cell(r.stats.total_energy_pj(), 1);
+  if (s.faults.enabled()) {
+    agg.row().cell("flits_dropped").cell(
+        static_cast<long long>(r.stats.flits_dropped));
+    agg.row().cell("retries").cell(static_cast<long long>(r.stats.retries));
+    agg.row().cell("packets_lost").cell(
+        static_cast<long long>(r.stats.packets_lost));
+    agg.row().cell("rerouted_hops").cell(
+        static_cast<long long>(r.stats.rerouted_hops));
+  }
   agg.print(std::cout);
 
   std::cout << "\nper-tenant:\n";
