@@ -3,6 +3,7 @@
 // protocol identical across experiments.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <iostream>
 #include <memory>
@@ -13,7 +14,9 @@
 #include "core/env_noc.h"
 #include "core/parallel.h"
 #include "core/trainer.h"
+#include "obs/session.h"
 #include "rl/dqn.h"
+#include "scenario/runtime.h"
 #include "util/config.h"
 #include "util/table.h"
 
@@ -90,6 +93,31 @@ inline core::MetricSummary summarize_metric(const std::vector<double>& xs) {
     m.ci95 = 1.96 * m.stddev / std::sqrt(n);
   }
   return m;
+}
+
+/// Honors `--trace-out=` / `--metrics-out=` / `--trace-sample=` on the table
+/// benches: when any flag is set, runs `scenario` once more with the
+/// observability taps attached and writes the artifacts. Runs AFTER the
+/// measured comparisons so every timed/aggregated cell stays observer-free;
+/// `duration_cap` bounds the extra run. Returns false when an artifact
+/// could not be written (benches fold this into their exit code).
+inline bool maybe_traced_run(const util::Config& cfg,
+                             const scenario::Scenario& scenario,
+                             double duration_cap = 20000.0) {
+  obs::ObsSession session(obs::ObsOptions::from_config(cfg));
+  if (!session.enabled()) return true;
+  scenario.validate();
+  auto net = scenario::build_network(scenario);
+  auto workload = scenario::build_workload(scenario, net->topology());
+  session.attach(*net);
+  session.annotate_scenario(scenario);
+  scenario::ScenarioRunParams rp;
+  rp.cycle_limit = scenario.cycle_limit;
+  rp.duration = scenario.duration > 0.0
+                    ? std::min(scenario.duration, duration_cap)
+                    : duration_cap;
+  scenario::run_scenario(*net, *workload, rp);
+  return session.finish();
 }
 
 /// Appends one controller-comparison row.

@@ -6,14 +6,25 @@
 #pragma once
 
 #include <fstream>
-#include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/log.h"
+
+// Injected by the build (CMake runs `git describe --always --dirty`); the
+// fallback keeps out-of-tree or tarball builds compiling.
+#ifndef DRLNOC_GIT_DESCRIBE
+#define DRLNOC_GIT_DESCRIBE "unknown"
+#endif
+
 namespace drlnoc::bench {
+
+/// Version of the benchmark JSON layout below. Bump when fields are added,
+/// renamed or re-typed so downstream diff tooling can gate on it.
+inline constexpr int kBenchJsonSchema = 2;
 
 /// Extracts the flat numeric "metrics" object from a previous benchmark
 /// JSON file. Tolerant hand parser: finds `"metrics"`, then reads
@@ -22,7 +33,7 @@ inline std::map<std::string, double> read_baseline_metrics(
     const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    std::cerr << "bench: cannot read baseline file " << path << "\n";
+    LOG_WARN << "bench: cannot read baseline file " << path;
     return {};
   }
   std::stringstream ss;
@@ -65,6 +76,8 @@ inline void write_metrics_json(
     const std::string& units = "per_second") {
   os.precision(6);
   os << "{\n  \"bench\": \"" << bench_name
+     << "\",\n  \"schema\": " << kBenchJsonSchema
+     << ",\n  \"git\": \"" << DRLNOC_GIT_DESCRIBE
      << "\",\n  \"units\": \"" << units << "\",\n";
   os << "  \"metrics\": {\n";
   for (std::size_t i = 0; i < metrics.size(); ++i) {

@@ -152,6 +152,7 @@ int main(int argc, char** argv) {
   // from_args skips argv[0] itself (program-name slot); passing argv + 1
   // here used to silently drop the *first* key=value argument.
   const drlnoc::util::Config cfg = drlnoc::util::Config::from_args(argc, argv);
+  drlnoc::util::init_log(cfg.get("log", std::string()));
   const double scale = cfg.get("scale", 1.0);
   const int repeats = cfg.get("repeats", 3);
   const auto n = [&](double base) {
@@ -165,8 +166,8 @@ int main(int argc, char** argv) {
     const std::string path = cfg.get("baseline", std::string());
     baseline = drlnoc::bench::read_baseline_metrics(path);
     if (baseline.empty()) {
-      std::cerr << "perf_smoke: baseline " << path
-                << " yielded no metrics; speedup block will be omitted\n";
+      LOG_WARN << "perf_smoke: baseline " << path
+               << " yielded no metrics; speedup block will be omitted";
     }
   }
 

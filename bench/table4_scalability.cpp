@@ -22,6 +22,7 @@
 #include "bench_common.h"
 #include "bench_json.h"
 #include "util/config.h"
+#include "util/log.h"
 
 using namespace drlnoc;
 
@@ -47,6 +48,7 @@ int main(int argc, char** argv) {
   }
   const util::Config cfg =
       util::Config::from_args(static_cast<int>(args.size()), args.data());
+  util::init_log(cfg.get("log", std::string()));
   smoke = cfg.get("smoke", smoke);
   const std::string rows_filter = cfg.get("rows", std::string());
   const core::ExperimentRunner runner = bench::runner_from(cfg);
@@ -86,7 +88,7 @@ int main(int argc, char** argv) {
       return case_name(c).find(rows_filter) == std::string::npos;
     });
     if (cases.empty()) {
-      std::cerr << "table4: rows=" << rows_filter << " matches nothing\n";
+      LOG_ERROR << "table4: rows=" << rows_filter << " matches nothing";
       return 2;
     }
   }

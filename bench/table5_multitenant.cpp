@@ -21,6 +21,7 @@
 #include "scenario/scenario.h"
 #include "trace/generators.h"
 #include "util/config.h"
+#include "util/log.h"
 
 using namespace drlnoc;
 
@@ -67,6 +68,7 @@ int main(int argc, char** argv) {
   }
   const util::Config cfg =
       util::Config::from_args(static_cast<int>(args.size()), args.data());
+  util::init_log(cfg.get("log", std::string()));
 
   const int size = cfg.get("size", smoke ? 4 : 8);
   const int episodes = cfg.get("episodes", smoke ? 2 : 80);
@@ -212,7 +214,7 @@ int main(int argc, char** argv) {
   if (!out_path.empty()) {
     std::ofstream out(out_path);
     if (!out) {
-      std::cerr << "table5: cannot write " << out_path << "\n";
+      LOG_ERROR << "table5: cannot write " << out_path;
       return 1;
     }
     bench::write_metrics_json(out, "table5_multitenant", metrics, {},
@@ -220,5 +222,7 @@ int main(int argc, char** argv) {
                               "throughput, mW)");
     std::cout << "wrote " << out_path << "\n";
   }
-  return 0;
+  // Optional observability pass (after the measured comparisons, so every
+  // table cell above is observer-free).
+  return bench::maybe_traced_run(cfg, *s) ? 0 : 1;
 }

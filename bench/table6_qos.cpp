@@ -24,6 +24,7 @@
 #include "scenario/scenario.h"
 #include "trace/generators.h"
 #include "util/config.h"
+#include "util/log.h"
 
 using namespace drlnoc;
 
@@ -73,6 +74,7 @@ int main(int argc, char** argv) {
   }
   const util::Config cfg =
       util::Config::from_args(static_cast<int>(args.size()), args.data());
+  util::init_log(cfg.get("log", std::string()));
 
   const int size = cfg.get("size", smoke ? 4 : 8);
   const int episodes = cfg.get("episodes", smoke ? 2 : 80);
@@ -143,7 +145,7 @@ int main(int argc, char** argv) {
   if (!policy_path.empty()) {
     std::ofstream out(policy_path, std::ios::binary);
     if (!out) {
-      std::cerr << "table6: cannot write " << policy_path << "\n";
+      LOG_ERROR << "table6: cannot write " << policy_path;
       return 1;
     }
     qos_agent->save(out);
@@ -250,7 +252,7 @@ int main(int argc, char** argv) {
   if (!out_path.empty()) {
     std::ofstream out(out_path);
     if (!out) {
-      std::cerr << "table6: cannot write " << out_path << "\n";
+      LOG_ERROR << "table6: cannot write " << out_path;
       return 1;
     }
     bench::write_metrics_json(out, "table6_qos", metrics, {},
@@ -258,5 +260,7 @@ int main(int argc, char** argv) {
                               "pkt/node/cycle throughput, mW)");
     std::cout << "wrote " << out_path << "\n";
   }
-  return 0;
+  // Optional observability pass (after the measured comparisons, so every
+  // table cell above is observer-free).
+  return bench::maybe_traced_run(cfg, *s) ? 0 : 1;
 }

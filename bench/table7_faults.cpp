@@ -27,6 +27,7 @@
 #include "noc/faults.h"
 #include "scenario/scenario.h"
 #include "util/config.h"
+#include "util/log.h"
 
 using namespace drlnoc;
 
@@ -137,6 +138,7 @@ int main(int argc, char** argv) {
   }
   const util::Config cfg =
       util::Config::from_args(static_cast<int>(args.size()), args.data());
+  util::init_log(cfg.get("log", std::string()));
 
   const int size = cfg.get("size", smoke ? 4 : 8);
   const int episodes = cfg.get("episodes", smoke ? 2 : 60);
@@ -326,7 +328,7 @@ int main(int argc, char** argv) {
   if (!out_path.empty()) {
     std::ofstream out(out_path);
     if (!out) {
-      std::cerr << "table7: cannot write " << out_path << "\n";
+      LOG_ERROR << "table7: cannot write " << out_path;
       return 1;
     }
     bench::write_metrics_json(out, "table7_faults", metrics, {},
@@ -336,5 +338,9 @@ int main(int argc, char** argv) {
                               "mW)");
     std::cout << "wrote " << out_path << "\n";
   }
-  return 0;
+  // Optional observability pass at the worst severity (after the measured
+  // comparisons, so every table cell above is observer-free).
+  scenario::Scenario traced = *s;
+  traced.faults = levels.back().faults;
+  return bench::maybe_traced_run(cfg, traced) ? 0 : 1;
 }

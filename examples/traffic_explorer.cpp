@@ -10,6 +10,9 @@
 // Deterministic fault injection rides along on every mode:
 //   fault_rate=0.01 fault_seed=7 fault_timeout=64 fault_backoff=2
 //   fault_budget=4 fault_link=5:1,9:2   (kill links 5->E and 9->W at cycle 0)
+//
+// Observability (single-run --workload modes; see docs/OBSERVABILITY.md):
+//   --trace-out=trace.json --metrics-out=metrics.json --trace-sample=0.1
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -17,11 +20,13 @@
 #include <vector>
 
 #include "noc/simulator.h"
+#include "obs/session.h"
 #include "scenario/runtime.h"
 #include "scenario/scenario_io.h"
 #include "trace/trace_io.h"
 #include "trace/trace_workload.h"
 #include "util/config.h"
+#include "util/log.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -71,18 +76,20 @@ noc::FaultParams fault_params_from(const util::Config& cfg) {
 /// `--workload trace=<file>`: replay an application trace on the chosen
 /// topology, with `scale=` mapped to the rate-scaling knob.
 int explore_trace(const noc::NetworkParams& p, const std::string& path,
-                  const util::Config& cfg, const noc::FaultParams& faults) {
+                  const util::Config& cfg, const noc::FaultParams& faults,
+                  obs::ObsSession& session) {
   const auto t =
       std::make_shared<const trace::Trace>(trace::TraceReader::read_file(path));
   if (p.width * p.height < t->nodes) {
-    std::cerr << "trace needs " << t->nodes << " nodes, network has "
-              << p.width * p.height << " (raise size=)\n";
+    LOG_ERROR << "trace needs " << t->nodes << " nodes, network has "
+              << p.width * p.height << " (raise size=)";
     return 1;
   }
   trace::TraceWorkloadParams tw;
   tw.rate_scale = cfg.get("scale", 1.0);
   noc::Network net(p);
   if (faults.enabled()) net.set_fault_model(faults);
+  session.attach(net);
   trace::TraceWorkload w(t, tw);
   const auto limit =
       static_cast<std::uint64_t>(cfg.get("cycle_limit", 2000000LL));
@@ -107,15 +114,24 @@ int explore_trace(const noc::NetworkParams& p, const std::string& path,
 /// `--workload scenario=<file>`: run a multi-tenant `.drlsc` scenario on its
 /// own fabric (the scenario carries its topology; size=/topology= flags are
 /// ignored) and print aggregate plus per-tenant metrics.
-int explore_scenario(const std::string& path,
-                     const noc::FaultParams& faults) {
+int explore_scenario(const std::string& path, const noc::FaultParams& faults,
+                     obs::ObsSession& session) {
   scenario::Scenario s = scenario::ScenarioReader::read_file(path);
   if (faults.enabled()) {
     // Command-line faults replace the scenario's own [faults] section for
-    // this run; the merged scenario is re-validated by run_scenario.
+    // this run; the merged scenario is re-validated before the run starts.
     s.faults = faults;
   }
-  const scenario::ScenarioRunResult r = scenario::run_scenario(s);
+  s.validate();
+  auto net = scenario::build_network(s);
+  auto workload = scenario::build_workload(s, net->topology());
+  session.attach(*net);
+  session.annotate_scenario(s);
+  scenario::ScenarioRunParams rp;
+  rp.cycle_limit = s.cycle_limit;
+  rp.duration = s.duration;
+  const scenario::ScenarioRunResult r =
+      scenario::run_scenario(*net, *workload, rp);
   std::cout << "scenario '" << s.name << "' on " << s.net.topology << " "
             << s.net.width << "x" << s.net.height
             << (r.completed ? "" : "  [HIT CYCLE LIMIT]") << "\n";
@@ -141,11 +157,13 @@ int explore_scenario(const std::string& path,
 /// `--workload phased[=scale]`: one steady-state run of the canonical
 /// 4-phase workload (parity with trace exploration).
 int explore_phased(const noc::NetworkParams& p, const std::string& arg,
-                   const util::Config& cfg, const noc::FaultParams& faults) {
+                   const util::Config& cfg, const noc::FaultParams& faults,
+                   obs::ObsSession& session) {
   const double phase_scale = arg.empty() ? cfg.get("scale", 1.0)
                                          : std::stod(arg);
   noc::Network net(p);
   if (faults.enabled()) net.set_fault_model(faults);
+  session.attach(net);
   noc::PhasedWorkload w(net.topology(),
                         noc::PhasedWorkload::standard_phases(net.topology(),
                                                              phase_scale));
@@ -171,6 +189,7 @@ int explore_phased(const noc::NetworkParams& p, const std::string& arg,
 
 int main(int argc, char** argv) {
   const util::Config cfg = util::Config::from_args(argc, argv);
+  util::init_log(cfg.get("log", std::string()));
   const std::string topology = cfg.get("topology", std::string("mesh"));
   const int size = cfg.get("size", 8);
   const double rate = cfg.get("rate", 0.05);
@@ -197,27 +216,38 @@ int main(int argc, char** argv) {
   // (see src/trace/), `--workload scenario=<file>` runs a multi-tenant
   // scenario (see src/scenario/), `--workload phased[=scale]` runs the
   // canonical phased workload. Default (no flag): the pattern sweep below.
+  // Observability: --trace-out= / --metrics-out= / --trace-sample= apply to
+  // the single-run workload modes below; the parallel pattern sweep runs
+  // untraced (one recorder cannot span concurrent fabrics).
+  obs::ObsSession session(obs::ObsOptions::from_config(cfg));
   if (cfg.has("workload")) {
     const std::string w = cfg.get("workload", std::string());
+    int rc = -1;
     try {
       if (w.rfind("trace=", 0) == 0) {
-        return explore_trace(p, w.substr(6), cfg, faults);
-      }
-      if (w.rfind("scenario=", 0) == 0) {
-        return explore_scenario(w.substr(9), faults);
-      }
-      if (w == "phased" || w.rfind("phased=", 0) == 0) {
-        return explore_phased(p, w == "phased" ? "" : w.substr(7), cfg,
-                              faults);
+        rc = explore_trace(p, w.substr(6), cfg, faults, session);
+      } else if (w.rfind("scenario=", 0) == 0) {
+        rc = explore_scenario(w.substr(9), faults, session);
+      } else if (w == "phased" || w.rfind("phased=", 0) == 0) {
+        rc = explore_phased(p, w == "phased" ? "" : w.substr(7), cfg, faults,
+                            session);
       }
     } catch (const std::exception& e) {
-      std::cerr << "workload error: " << e.what() << "\n";
+      LOG_ERROR << "workload error: " << e.what();
       return 1;
     }
-    std::cerr << "unknown workload '" << w
-              << "' (expected trace=<file>, scenario=<file> or "
-                 "phased[=scale])\n";
-    return 1;
+    if (rc < 0) {
+      LOG_ERROR << "unknown workload '" << w
+                << "' (expected trace=<file>, scenario=<file> or "
+                   "phased[=scale])";
+      return 1;
+    }
+    if (!session.finish() && rc == 0) rc = 1;
+    return rc;
+  }
+  if (session.enabled()) {
+    LOG_WARN << "traffic_explorer: --trace-out/--metrics-out are ignored by "
+                "the parallel pattern sweep; use a --workload mode";
   }
 
   // All patterns are measured concurrently; a pattern the topology rejects

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Validates drlnoc observability artifacts (stdlib only, CI-friendly).
+
+Usage:
+    check_trace.py TRACE.json [TRACE2.json ...] [--metrics METRICS.json ...]
+
+Trace files must be Chrome trace-event JSON as written by
+obs::FlightRecorder::write_chrome_trace (see docs/OBSERVABILITY.md):
+
+    {"schema": 1, "metadata": {...}, "traceEvents": [...]}
+
+Checks performed on each trace file:
+  * top-level object with integer "schema" and a "traceEvents" list
+  * traceEvents is non-empty (a smoke run that records nothing is a bug)
+  * every event has "name" (str), "ph" (known phase letter), "ts" (number)
+    and "pid" (int)
+  * async packet events (ph in b/n/e) carry an "id" field
+
+Deliberately NOT checked (both would be false positives by design):
+  * b/e pairing — the flight recorder is a bounded ring, so the begin
+    event of a long-lived packet may have been overwritten
+  * timestamp ordering — ring eviction means the oldest surviving event
+    is not necessarily the globally oldest
+
+Metrics files (--metrics) must be obs JSON with "schema" and "kind" keys;
+when a "metrics" registry is present its series lengths must match the
+sample count.
+
+Exits non-zero with a per-file diagnostic on the first failure.
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_PHASES = {"B", "E", "X", "i", "I", "C", "b", "n", "e", "M"}
+ASYNC_PHASES = {"b", "n", "e"}
+
+
+def fail(path, message):
+    print(f"check_trace: {path}: {message}", file=sys.stderr)
+    return 1
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check_trace(path):
+    try:
+        doc = load_json(path)
+    except (OSError, ValueError) as exc:
+        return fail(path, f"cannot parse JSON ({exc})")
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not a JSON object")
+    if not isinstance(doc.get("schema"), int):
+        return fail(path, 'missing integer "schema" field')
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(path, '"traceEvents" is missing or not a list')
+    if not events:
+        return fail(path, '"traceEvents" is empty — recorder captured nothing')
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            return fail(path, f"{where} is not an object")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            return fail(path, f'{where} has no "name"')
+        phase = event.get("ph")
+        if phase not in KNOWN_PHASES:
+            return fail(path, f'{where} has unknown phase {phase!r}')
+        if not isinstance(event.get("ts"), (int, float)):
+            return fail(path, f'{where} has no numeric "ts"')
+        if not isinstance(event.get("pid"), int):
+            return fail(path, f'{where} has no integer "pid"')
+        if phase in ASYNC_PHASES and "id" not in event:
+            return fail(path, f'{where} is async ({phase}) but has no "id"')
+    print(f"check_trace: {path}: OK ({len(events)} events)")
+    return 0
+
+
+def check_metrics(path):
+    try:
+        doc = load_json(path)
+    except (OSError, ValueError) as exc:
+        return fail(path, f"cannot parse JSON ({exc})")
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not a JSON object")
+    if not isinstance(doc.get("schema"), int):
+        return fail(path, 'missing integer "schema" field')
+    if not isinstance(doc.get("kind"), str):
+        return fail(path, 'missing string "kind" field')
+    metrics = doc.get("metrics")
+    if isinstance(metrics, dict):
+        registry = metrics.get("registry", {})
+        samples = registry.get("samples")
+        times = registry.get("times", [])
+        series = registry.get("series", [])
+        if not isinstance(samples, int):
+            return fail(path, 'registry has no integer "samples"')
+        if len(times) != samples:
+            return fail(
+                path, f'"times" has {len(times)} entries, expected {samples}')
+        for entry in series:
+            # One entry per sample; multi-instance series nest a list of
+            # per-instance values inside each entry.
+            values = entry.get("values", [])
+            instances = entry.get("instances", 1)
+            if len(values) != samples:
+                return fail(
+                    path,
+                    f'series "{entry.get("name")}" has {len(values)} rows, '
+                    f"expected samples={samples}")
+            if instances > 1:
+                for row in values:
+                    if not isinstance(row, list) or len(row) != instances:
+                        return fail(
+                            path,
+                            f'series "{entry.get("name")}" row width does '
+                            f"not match instances={instances}")
+    print(f"check_trace: {path}: metrics OK")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Validate drlnoc trace/metrics JSON artifacts")
+    parser.add_argument("traces", nargs="*", help="Chrome trace JSON files")
+    parser.add_argument("--metrics", nargs="*", default=[],
+                        help="obs metrics JSON files")
+    options = parser.parse_args(argv)
+    if not options.traces and not options.metrics:
+        parser.error("nothing to check: pass trace files and/or --metrics")
+    status = 0
+    for path in options.traces:
+        status |= check_trace(path)
+    for path in options.metrics:
+        status |= check_metrics(path)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

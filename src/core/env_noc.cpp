@@ -149,6 +149,10 @@ void NocConfigEnv::build_network() {
   phased_ = nullptr;
   composite_ = nullptr;
   net_ = std::make_unique<noc::Network>(np, params_.power);
+  // Observability taps survive episode resets: the rebuilt fabric re-attaches
+  // the same recorder/metrics, so one trace spans a whole training run.
+  if (params_.recorder != nullptr) net_->set_flight_recorder(params_.recorder);
+  if (params_.metrics != nullptr) net_->set_metrics(params_.metrics);
   if (params_.scenario) {
     // Each episode gets its own fault model at the same seed, so fault
     // timing is reproducible per episode and independent of how many

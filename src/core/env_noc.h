@@ -16,6 +16,11 @@
 #include "scenario/scenario.h"
 #include "trace/trace.h"
 
+namespace drlnoc::obs {
+class FlightRecorder;
+class NetworkMetrics;
+}  // namespace drlnoc::obs
+
 namespace drlnoc::scenario {
 class CompositeWorkload;
 }  // namespace drlnoc::scenario
@@ -56,6 +61,11 @@ struct NocEnvParams {
   /// When true (default), training episodes start at a random point of the
   /// phased workload; evaluation (see evaluate()) always starts at phase 0.
   bool random_phase_offset = true;
+  /// Non-owning observability taps, re-attached to the fabric on every
+  /// episode reset. Never copied into parallel experiment workers (the
+  /// recorder is not thread-safe); core/parallel strips them per task.
+  obs::FlightRecorder* recorder = nullptr;
+  obs::NetworkMetrics* metrics = nullptr;
 };
 
 class NocConfigEnv : public rl::Environment {

@@ -12,6 +12,10 @@ namespace {
 // deterministically recompute the same value from the same parameters).
 NocEnvParams with_calibrated_power_ref(const NocEnvParams& params) {
   NocEnvParams p = params;
+  // Observability taps are single-threaded; parallel workers must never
+  // share them, so every task environment runs untapped.
+  p.recorder = nullptr;
+  p.metrics = nullptr;
   if (p.reward.power_ref_mw <= 0.0) {
     p.reward.power_ref_mw = NocConfigEnv(p).power_ref_mw();
   }

@@ -3,11 +3,13 @@
 #include <iostream>
 
 #include "core/parallel.h"
+#include "obs/profiler.h"
 
 namespace drlnoc::core {
 
 EpisodeResult evaluate(NocConfigEnv& env, Controller& controller,
                        bool keep_epochs) {
+  obs::ScopedPhase prof(obs::Phase::kEvaluate);
   EpisodeResult out;
   out.controller = controller.name();
   controller.begin_episode();
@@ -131,17 +133,28 @@ TrainResult train_dqn(NocConfigEnv& env, rl::DqnAgent& agent,
     int loss_count = 0;
     bool done = false;
     while (!done) {
-      const int action = agent.act(state);
-      const rl::StepResult r = env.step(action);
+      int action;
+      {
+        obs::ScopedPhase rollout(obs::Phase::kRollout);
+        action = agent.act(state);
+      }
+      rl::StepResult r;
+      {
+        obs::ScopedPhase env_step(obs::Phase::kEnvStep);
+        r = env.step(action);
+      }
       rl::Transition t;
       t.state = state;
       t.action = action;
       t.reward = r.reward;
       t.next_state = r.next_state;
       t.done = r.done;
-      if (const auto loss = agent.observe(t)) {
-        loss_sum += *loss;
-        ++loss_count;
+      {
+        obs::ScopedPhase learn(obs::Phase::kLearn);
+        if (const auto loss = agent.observe(t)) {
+          loss_sum += *loss;
+          ++loss_count;
+        }
       }
       ep_return += r.reward;
       state = r.next_state;

@@ -6,6 +6,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/flight_recorder.h"
+#include "obs/network_metrics.h"
+#include "obs/profiler.h"
+
 namespace drlnoc::noc {
 
 std::string to_string(const NocConfig& c) {
@@ -178,6 +182,11 @@ void Network::apply_config(const NocConfig& config) {
   config_ = config;
   per_router_configs_.assign(static_cast<std::size_t>(num_nodes()), config);
   refresh_active_capacity();
+  if (recorder_ != nullptr) {
+    recorder_->record(obs::EventKind::kConfigApply, core_time_, cycle_, 0,
+                      config.active_vcs, config.active_depth,
+                      config.dvfs_level);
+  }
   // Reconfiguration touches every router (gating, depth, clock) — even
   // quiescent ones must re-run under the new configuration. Depth growth
   // also floods bonus credits, whose sink hooks alone would only wake
@@ -217,7 +226,27 @@ void Network::apply_per_router(const std::vector<NocConfig>& configs) {
   config_ = representative;
   per_router_configs_ = configs;
   refresh_active_capacity();
+  if (recorder_ != nullptr) {
+    recorder_->record(obs::EventKind::kConfigApply, core_time_, cycle_, 0,
+                      representative.active_vcs, representative.active_depth,
+                      representative.dvfs_level);
+  }
   wake_all();
+}
+
+void Network::set_flight_recorder(obs::FlightRecorder* recorder) {
+  recorder_ = recorder;
+  // Attach through routers_ directly: the mutable router() accessor would
+  // re-arm quiescent nodes and perturb the event-driven schedule.
+  for (auto& r : routers_) r->set_flight_recorder(recorder);
+}
+
+void Network::set_metrics(obs::NetworkMetrics* metrics) {
+  if (metrics != nullptr && metrics->num_nodes() != num_nodes()) {
+    throw std::invalid_argument(
+        "set_metrics: metrics sink sized for a different fabric");
+  }
+  metrics_ = metrics;
 }
 
 void Network::wake_all() {
@@ -253,6 +282,11 @@ void Network::inject_due_traffic(TrafficInjector* injector) {
             dst, t, measuring_, packet_id, length, tenant);
         wake(node);  // source NIC has work now
         injector->on_packet_injected(node, packet_id, t);
+        if (recorder_ != nullptr && recorder_->sampled(packet_id)) {
+          recorder_->record(
+              obs::EventKind::kPacketInject, t, cycle_, packet_id, node, dst,
+              length > 0 ? length : params_.flits_per_packet);
+        }
         ++epoch_offered_;
         ++total_offered_;
         if (!tenant_offered_.empty()) {
@@ -282,6 +316,10 @@ void Network::service_faults() {
   while (const FaultEvent* e = fault_model_->next_due_event(cycle_)) {
     if (e->kind == FaultEvent::Kind::kLinkDown) {
       if (fault_model_->kill_link(e->node, e->port)) {
+        if (recorder_ != nullptr) {
+          recorder_->record(obs::EventKind::kFaultLinkDown, core_time_,
+                            cycle_, 0, e->node, e->port);
+        }
         // Throws when the surviving links disconnect the topology.
         fault_routing_->recompute(fault_model_->dead_links());
         // Minimal paths changed fabric-wide: every router — including
@@ -292,6 +330,10 @@ void Network::service_faults() {
     } else {
       node_step_divisor_[static_cast<std::size_t>(e->node)] =
           static_cast<std::uint32_t>(std::max(1, e->factor));
+      if (recorder_ != nullptr) {
+        recorder_->record(obs::EventKind::kFaultSlowdown, core_time_, cycle_,
+                          0, e->node, std::max(1, e->factor));
+      }
       // A slowdown affects exactly one node; waking it suffices (its
       // neighbors re-arm through channel sink hooks as backpressure forms).
       wake(e->node);
@@ -306,6 +348,10 @@ void Network::service_faults() {
         retry.dst, retry.inject_time, retry.measured, retry.packet_id,
         retry.length, retry.tenant);
     wake(retry.src);
+    if (recorder_ != nullptr && recorder_->sampled(retry.packet_id)) {
+      recorder_->record(obs::EventKind::kPacketRetry, core_time_, cycle_,
+                        retry.packet_id, retry.src, retry.dst);
+    }
     ++epoch_retries_;
     if (!tenant_retries_.empty()) ++tenant_retries_[tenant_slot(retry.tenant)];
   }
@@ -316,8 +362,18 @@ bool Network::account_faulted_record(const PacketRecord& rec) {
   if (rec.corrupted) {
     epoch_flits_dropped_ += rec.length;
     if (tracking) tenant_flits_dropped_[tenant_slot(rec.tenant)] += rec.length;
-    if (fault_model_->on_corrupt_delivery(rec, cycle_) ==
-        FaultModel::RetryVerdict::kLost) {
+    const bool lost = fault_model_->on_corrupt_delivery(rec, cycle_) ==
+                      FaultModel::RetryVerdict::kLost;
+    if (recorder_ != nullptr && recorder_->sampled(rec.packet_id)) {
+      recorder_->record(obs::EventKind::kPacketDiscard, rec.eject_time,
+                        cycle_, rec.packet_id, rec.src, rec.dst,
+                        static_cast<std::int32_t>(rec.hops));
+      if (lost) {
+        recorder_->record(obs::EventKind::kPacketLost, rec.eject_time, cycle_,
+                          rec.packet_id, rec.src, rec.dst);
+      }
+    }
+    if (lost) {
       ++epoch_packets_lost_;
       if (tracking) ++tenant_packets_lost_[tenant_slot(rec.tenant)];
     }
@@ -340,6 +396,7 @@ bool Network::account_faulted_record(const PacketRecord& rec) {
 }
 
 void Network::step(TrafficInjector* injector) {
+  obs::ScopedPhase prof(obs::Phase::kNetStep);
   if (fault_model_ != nullptr) service_faults();
   inject_due_traffic(injector);
   const double divisor = power_.clock_divisor(config_.dvfs_level);
@@ -380,6 +437,11 @@ void Network::step(TrafficInjector* injector) {
       // and either retried or declared lost. Clean deliveries additionally
       // account retry latency and detour hops while faults are active.
       if (fault_model_ != nullptr && account_faulted_record(rec)) continue;
+      if (recorder_ != nullptr && recorder_->sampled(rec.packet_id)) {
+        recorder_->record(obs::EventKind::kPacketEject, rec.eject_time,
+                          cycle_, rec.packet_id, rec.dst,
+                          static_cast<std::int32_t>(rec.hops), rec.tenant);
+      }
       ++epoch_received_;
       ++total_received_;
       ++epoch_node_recv_[static_cast<std::size_t>(rec.dst)];
@@ -492,9 +554,16 @@ EpochStats Network::drain_epoch_stats() {
 
   RouterActivity activity;
   std::uint64_t fin = 0, fout = 0;
-  for (auto& r : routers_) {
-    activity += r->activity();
-    r->reset_activity();
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    Router& r = *routers_[i];
+    // Per-router metrics snapshot must happen before the activity reset.
+    if (metrics_ != nullptr) {
+      metrics_->sample_node(static_cast<int>(i), r.activity().link_flits,
+                            r.buffered_flits(), r.max_vc_occupancy(),
+                            nics_[i]->source_queue_len());
+    }
+    activity += r.activity();
+    r.reset_activity();
   }
   for (auto& nic : nics_) {
     fin += nic->injected_flits();
@@ -562,6 +631,13 @@ EpochStats Network::drain_epoch_stats() {
   epoch_occupancy_.reset();
   epoch_active_.reset();
   std::fill(epoch_node_recv_.begin(), epoch_node_recv_.end(), 0);
+
+  if (metrics_ != nullptr) metrics_->commit_epoch(core_time_, s);
+  if (recorder_ != nullptr) {
+    recorder_->record(obs::EventKind::kEpochBoundary, core_time_, cycle_, 0,
+                      static_cast<std::int32_t>(s.packets_received),
+                      static_cast<std::int32_t>(s.packets_offered));
+  }
   return s;
 }
 

@@ -25,6 +25,11 @@
 #include "util/rng.h"
 #include "util/stats.h"
 
+namespace drlnoc::obs {
+class FlightRecorder;
+class NetworkMetrics;
+}  // namespace drlnoc::obs
+
 namespace drlnoc::noc {
 
 /// The run-time configuration the self-configuration controller selects.
@@ -198,6 +203,19 @@ class Network {
   void set_fault_model(const FaultParams& params);
   const FaultModel* fault_model() const { return fault_model_.get(); }
 
+  /// Attaches a (non-owning) flight recorder for sampled packet-lifecycle
+  /// and fault/config trace events; null detaches. Propagated to every
+  /// router. The recorder never consumes RNG state nor arms nodes, so an
+  /// attached recorder leaves the simulation bit-identical (pinned by the
+  /// observability golden tests).
+  void set_flight_recorder(obs::FlightRecorder* recorder);
+  const obs::FlightRecorder* flight_recorder() const { return recorder_; }
+
+  /// Attaches a (non-owning) metrics sink sampled at every epoch drain;
+  /// null detaches. Throws std::invalid_argument on a node-count mismatch.
+  void set_metrics(obs::NetworkMetrics* metrics);
+  const obs::NetworkMetrics* metrics() const { return metrics_; }
+
   /// Statistics accumulated since the previous drain (or construction).
   EpochStats drain_epoch_stats();
 
@@ -277,6 +295,9 @@ class Network {
   // set_fault_model() installs them.
   std::unique_ptr<FaultModel> fault_model_;
   std::unique_ptr<FaultAwareRouting> fault_routing_;
+  // Observability taps; null (and every hook branch dead) until attached.
+  obs::FlightRecorder* recorder_ = nullptr;
+  obs::NetworkMetrics* metrics_ = nullptr;
   std::vector<std::uint32_t> node_step_divisor_;  ///< slowdown gating (>= 1)
   std::vector<NocConfig> per_router_configs_;
   double active_capacity_ = 1.0;  ///< cached; refreshed on reconfiguration

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "noc/faults.h"
+#include "obs/flight_recorder.h"
 
 namespace drlnoc::noc {
 
@@ -119,7 +120,7 @@ std::pair<VcId, VcId> Router::admissible_range(std::uint8_t vc_class,
 void Router::step(Cycle cycle) {
   receive_phase(cycle);
   route_compute();
-  vc_allocate();
+  vc_allocate(cycle);
   switch_allocate_and_traverse(cycle);
 }
 
@@ -180,7 +181,7 @@ void Router::route_compute() {
   route_ready_.clear();
 }
 
-void Router::vc_allocate() {
+void Router::vc_allocate(Cycle cycle) {
   // Stage 1: each waiting input VC nominates its single preferred
   // (out_port, out_vc): among route candidates, the free admissible VC with
   // the most downstream credits (adaptive routing's congestion signal).
@@ -262,6 +263,15 @@ void Router::vc_allocate() {
     out.busy = true;
     rr = winner + 1 == num_inputs ? 0 : winner + 1;
     ++activity_.vc_allocs;
+    if (recorder_ != nullptr) {
+      const Flit& head =
+          inputs_[static_cast<std::size_t>(winner)].fifo.front();
+      if (recorder_->sampled(head.packet_id)) {
+        recorder_->record(obs::EventKind::kPacketVcAlloc,
+                          static_cast<double>(cycle), cycle, head.packet_id,
+                          id_, wmeta.out_port, wmeta.out_vc);
+      }
+    }
     va_head_[slot] = -1;  // reset for the next cycle
   }
 }
@@ -343,6 +353,14 @@ void Router::switch_allocate_and_traverse(Cycle cycle) {
     if (fault_model_ != nullptr && op != kLocalPort && !flit.corrupted &&
         fault_model_->corrupt_on_link(id_, op, flit, cycle)) {
       flit.corrupted = true;
+    }
+    // Trace hook: one hop event per packet per link (head flits only),
+    // ejections are traced at the NIC harvest instead of kLocalPort here.
+    if (recorder_ != nullptr && op != kLocalPort && is_head(flit.type) &&
+        recorder_->sampled(flit.packet_id)) {
+      recorder_->record(obs::EventKind::kPacketHop,
+                        static_cast<double>(cycle), cycle, flit.packet_id,
+                        id_, op, static_cast<std::int32_t>(flit.hops));
     }
     const bool tail = is_tail(flit.type);
     ++activity_.buffer_reads;

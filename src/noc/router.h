@@ -25,6 +25,10 @@
 #include "noc/types.h"
 #include "util/ring_buffer.h"
 
+namespace drlnoc::obs {
+class FlightRecorder;
+}  // namespace drlnoc::obs
+
 namespace drlnoc::noc {
 
 class FaultModel;
@@ -92,6 +96,13 @@ class Router {
   /// Attaches a fault model consulted at link traversal (null detaches).
   /// With no model attached the ST stage is unchanged (healthy fast path).
   void set_fault_model(const FaultModel* model) { fault_model_ = model; }
+  /// Attaches a flight recorder for sampled per-hop / VC-allocation trace
+  /// events (null detaches). Mirrors the fault-model discipline: with no
+  /// recorder the hot path pays one null check per event site and the
+  /// simulated behavior is bit-identical.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
 
   NodeId id() const { return id_; }
   const RouterParams& params() const { return params_; }
@@ -171,7 +182,7 @@ class Router {
 
   void receive_phase(Cycle cycle);
   void route_compute();
-  void vc_allocate();
+  void vc_allocate(Cycle cycle);
   void switch_allocate_and_traverse(Cycle cycle);
   /// Frees one input slot: sends a credit upstream or withholds it when the
   /// advertised capacity must shrink toward the configured depth.
@@ -181,6 +192,7 @@ class Router {
   RouterParams params_;
   const RoutingAlgorithm* routing_;
   const FaultModel* fault_model_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
   std::vector<PortWiring> ports_;
   std::vector<InputVc> inputs_;
   std::vector<OutputVc> outputs_;

@@ -1,0 +1,131 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/rng.h"
+
+namespace drlnoc::obs {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPacketInject: return "packet_inject";
+    case EventKind::kPacketVcAlloc: return "packet_vc_alloc";
+    case EventKind::kPacketHop: return "packet_hop";
+    case EventKind::kPacketEject: return "packet_eject";
+    case EventKind::kPacketDiscard: return "packet_discard";
+    case EventKind::kPacketRetry: return "packet_retry";
+    case EventKind::kPacketLost: return "packet_lost";
+    case EventKind::kEpochBoundary: return "epoch_boundary";
+    case EventKind::kConfigApply: return "config_apply";
+    case EventKind::kTenantStart: return "tenant_start";
+    case EventKind::kTenantStop: return "tenant_stop";
+    case EventKind::kFaultLinkDown: return "fault_link_down";
+    case EventKind::kFaultSlowdown: return "fault_slowdown";
+  }
+  return "?";
+}
+
+std::uint64_t FlightRecorder::hash_step(std::uint64_t& state) {
+  return util::splitmix64(state);
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderParams params)
+    : params_(params), ring_(std::max<std::size_t>(1, params.capacity)) {
+  const double rate = std::clamp(params_.sample_rate, 0.0, 1.0);
+  all_ = rate >= 1.0;
+  // Map the rate onto the full u64 space; 2^64 as a double is exact.
+  threshold_ = all_ ? ~0ULL
+                    : static_cast<std::uint64_t>(
+                          rate * 18446744073709551616.0);
+}
+
+void FlightRecorder::record(EventKind kind, double time, std::uint64_t cycle,
+                            std::uint64_t packet_id, std::int32_t a,
+                            std::int32_t b, std::int32_t c) {
+  TraceEvent& e = ring_[head_];
+  e.time = time;
+  e.cycle = cycle;
+  e.packet_id = packet_id;
+  e.kind = kind;
+  e.a = a;
+  e.b = b;
+  e.c = c;
+  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+  ++recorded_;
+  if (size_ < ring_.size()) {
+    ++size_;
+  } else {
+    ++dropped_;
+  }
+}
+
+std::vector<TraceEvent> FlightRecorder::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // Oldest event: head_ when the ring has wrapped, slot 0 otherwise.
+  const std::size_t start = size_ == ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  head_ = 0;
+  size_ = 0;
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+namespace {
+
+/// Chrome trace-event phase for one event kind. Packet lifecycles map to
+/// async events ("b" begin / "n" instant / "e" end) keyed by the packet id;
+/// everything else is a thread-scoped instant. Config changes additionally
+/// emit counter samples ("C") so Perfetto draws the knobs as tracks.
+char phase_of(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPacketInject: return 'b';
+    case EventKind::kPacketVcAlloc:
+    case EventKind::kPacketHop:
+    case EventKind::kPacketRetry: return 'n';
+    case EventKind::kPacketEject:
+    case EventKind::kPacketDiscard:
+    case EventKind::kPacketLost: return 'e';
+    default: return 'i';
+  }
+}
+
+}  // namespace
+
+void FlightRecorder::write_chrome_trace(std::ostream& os) const {
+  os << "{\n\"schema\": 1,\n\"metadata\": {"
+     << "\"kind\": \"drlnoc-trace\", \"sample_rate\": " << params_.sample_rate
+     << ", \"capacity\": " << ring_.size() << ", \"recorded\": " << recorded_
+     << ", \"dropped\": " << dropped_ << "},\n\"traceEvents\": [\n";
+  const std::vector<TraceEvent> evs = events();
+  bool first = true;
+  for (const TraceEvent& e : evs) {
+    const char ph = phase_of(e.kind);
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\": \"" << to_string(e.kind) << "\", \"cat\": \""
+       << (e.packet_id != 0 ? "packet" : "scenario") << "\", \"ph\": \"" << ph
+       << "\", \"ts\": " << e.cycle << ", \"pid\": 0, \"tid\": 0";
+    if (e.packet_id != 0) os << ", \"id\": " << e.packet_id;
+    os << ", \"args\": {\"a\": " << e.a << ", \"b\": " << e.b
+       << ", \"c\": " << e.c << ", \"time\": " << e.time << "}}";
+    if (e.kind == EventKind::kConfigApply) {
+      // Counter samples let Perfetto plot the configuration trajectory.
+      os << ",\n{\"name\": \"noc_config\", \"ph\": \"C\", \"ts\": " << e.cycle
+         << ", \"pid\": 0, \"args\": {\"active_vcs\": " << e.a
+         << ", \"active_depth\": " << e.b << ", \"dvfs_level\": " << e.c
+         << "}}";
+    }
+  }
+  os << "\n]\n}\n";
+}
+
+}  // namespace drlnoc::obs

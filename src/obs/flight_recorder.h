@@ -1,0 +1,112 @@
+// Flight-recorder event tracing: a bounded ring buffer of sampled packet
+// lifecycles and scenario/controller events, exported as Chrome trace-event
+// JSON (loadable in Perfetto / chrome://tracing). See docs/OBSERVABILITY.md
+// for the event catalogue and the sampling/determinism rules.
+//
+// Design constraints, in priority order:
+//   * The recorder must never perturb the simulation: record() only writes
+//     into a preallocated ring (overwrite-oldest), and the sampling decision
+//     is a stateless hash of the packet id — no RNG stream is consumed, so
+//     every golden determinism hash is unchanged with a recorder attached.
+//   * Hot paths stay allocation-free: capacity is fixed at construction.
+//   * This header is dependency-free (no noc/ includes) so the router and
+//     NIC layers can hold recorder pointers without include cycles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace drlnoc::obs {
+
+enum class EventKind : std::uint8_t {
+  // Packet lifecycle (packet_id != 0; emitted only for sampled packets).
+  kPacketInject,   ///< a=src, b=dst, c=length (flits)
+  kPacketVcAlloc,  ///< a=router, b=out_port, c=out_vc
+  kPacketHop,      ///< a=router, b=out_port, c=hops so far
+  kPacketEject,    ///< a=dst, b=hops, c=tenant
+  kPacketDiscard,  ///< corrupted delivery dropped; a=src, b=dst, c=hops
+  kPacketRetry,    ///< retransmission re-offered; a=src, b=dst
+  kPacketLost,     ///< retry budget exhausted; a=src, b=dst
+  // Scenario / controller events (packet_id == 0).
+  kEpochBoundary,  ///< a=packets_received, b=packets_offered
+  kConfigApply,    ///< a=active_vcs, b=active_depth, c=dvfs_level
+  kTenantStart,    ///< a=tenant index
+  kTenantStop,     ///< a=tenant index
+  kFaultLinkDown,  ///< a=node, b=port
+  kFaultSlowdown,  ///< a=node, b=factor
+};
+
+const char* to_string(EventKind kind);
+
+/// One recorded event. POD: the ring is a flat preallocated array of these.
+struct TraceEvent {
+  double time = 0.0;            ///< core-clock time (router cycle for
+                                ///< router-local events; see docs)
+  std::uint64_t cycle = 0;      ///< router cycle of the event
+  std::uint64_t packet_id = 0;  ///< 0 for non-packet events
+  EventKind kind{};
+  std::int32_t a = 0;  ///< kind-specific payload (see EventKind)
+  std::int32_t b = 0;
+  std::int32_t c = 0;
+};
+
+struct FlightRecorderParams {
+  std::size_t capacity = 1u << 16;  ///< ring slots; oldest overwritten
+  /// Fraction of packet ids whose lifecycle is recorded, in [0, 1].
+  /// The decision is a pure function of (seed, packet_id) — deterministic,
+  /// identical across runs, and free of any RNG-stream consumption.
+  double sample_rate = 1.0;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderParams params = {});
+
+  /// Whether `packet_id`'s lifecycle is recorded. Stateless splitmix64
+  /// threshold test; callers gate their record() calls on this so that an
+  /// unsampled packet costs exactly one hash.
+  bool sampled(std::uint64_t packet_id) const {
+    if (all_) return true;
+    if (threshold_ == 0) return false;
+    std::uint64_t s = params_.seed ^ (packet_id * 0xbf58476d1ce4e5b9ULL);
+    return hash_step(s) < threshold_;
+  }
+
+  /// Appends one event; O(1), allocation-free. When the ring is full the
+  /// oldest event is overwritten and dropped() grows.
+  void record(EventKind kind, double time, std::uint64_t cycle,
+              std::uint64_t packet_id = 0, std::int32_t a = 0,
+              std::int32_t b = 0, std::int32_t c = 0);
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return ring_.size(); }
+  std::uint64_t recorded() const { return recorded_; }  ///< total, incl. dropped
+  std::uint64_t dropped() const { return dropped_; }    ///< overwritten events
+  const FlightRecorderParams& params() const { return params_; }
+
+  /// Ring contents, oldest first.
+  std::vector<TraceEvent> events() const;
+  void clear();
+
+  /// Chrome trace-event JSON: packet lifecycles as async ("b"/"n"/"e")
+  /// events keyed by packet id, scenario events as instants, config as
+  /// counter tracks. Timestamps are router cycles. Loadable in Perfetto.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  static std::uint64_t hash_step(std::uint64_t& state);
+
+  FlightRecorderParams params_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  ///< next write slot
+  std::size_t size_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t threshold_ = 0;  ///< sample_rate mapped onto u64 space
+  bool all_ = false;             ///< sample_rate >= 1: skip the hash
+};
+
+}  // namespace drlnoc::obs

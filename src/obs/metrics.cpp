@@ -1,0 +1,187 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace drlnoc::obs {
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+MetricsRegistry::Id MetricsRegistry::add_scalar(std::string name,
+                                                MetricKind kind,
+                                                int instances) {
+  if (instances < 1) {
+    throw std::invalid_argument("MetricsRegistry: instances must be >= 1");
+  }
+  Metric m;
+  m.name = std::move(name);
+  m.kind = kind;
+  m.instances = instances;
+  m.offset = values_.size();
+  values_.resize(values_.size() + static_cast<std::size_t>(instances), 0.0);
+  metrics_.push_back(std::move(m));
+  return static_cast<Id>(metrics_.size() - 1);
+}
+
+MetricsRegistry::Id MetricsRegistry::add_counter(std::string name,
+                                                 int instances) {
+  return add_scalar(std::move(name), MetricKind::kCounter, instances);
+}
+
+MetricsRegistry::Id MetricsRegistry::add_gauge(std::string name,
+                                               int instances) {
+  return add_scalar(std::move(name), MetricKind::kGauge, instances);
+}
+
+MetricsRegistry::Id MetricsRegistry::add_histogram(std::string name,
+                                                   double limit,
+                                                   std::size_t buckets) {
+  Metric m;
+  m.name = std::move(name);
+  m.kind = MetricKind::kHistogram;
+  m.instances = 1;
+  m.hist = histograms_.size();
+  histograms_.emplace_back(limit, buckets);
+  metrics_.push_back(std::move(m));
+  return static_cast<Id>(metrics_.size() - 1);
+}
+
+void MetricsRegistry::add_to_counter(Id id, int instance, double delta) {
+  const Metric& m = metrics_[static_cast<std::size_t>(id)];
+  assert(m.kind == MetricKind::kCounter && instance >= 0 &&
+         instance < m.instances);
+  values_[m.offset + static_cast<std::size_t>(instance)] += delta;
+}
+
+void MetricsRegistry::set_gauge(Id id, int instance, double value) {
+  const Metric& m = metrics_[static_cast<std::size_t>(id)];
+  assert(m.kind == MetricKind::kGauge && instance >= 0 &&
+         instance < m.instances);
+  values_[m.offset + static_cast<std::size_t>(instance)] = value;
+}
+
+void MetricsRegistry::observe(Id id, double value) {
+  const Metric& m = metrics_[static_cast<std::size_t>(id)];
+  assert(m.kind == MetricKind::kHistogram);
+  histograms_[m.hist].add(value);
+}
+
+void MetricsRegistry::commit_sample(double time) {
+  times_.push_back(time);
+  rows_.push_back(values_);
+  for (const Metric& m : metrics_) {
+    if (m.kind != MetricKind::kCounter) continue;
+    std::fill_n(values_.begin() + static_cast<std::ptrdiff_t>(m.offset),
+                m.instances, 0.0);
+  }
+}
+
+int MetricsRegistry::instances(Id id) const {
+  return metrics_[static_cast<std::size_t>(id)].instances;
+}
+
+const std::string& MetricsRegistry::name(Id id) const {
+  return metrics_[static_cast<std::size_t>(id)].name;
+}
+
+double MetricsRegistry::value(Id id, int instance) const {
+  const Metric& m = metrics_[static_cast<std::size_t>(id)];
+  return values_[m.offset + static_cast<std::size_t>(instance)];
+}
+
+double MetricsRegistry::sample_value(std::size_t row, Id id,
+                                     int instance) const {
+  const Metric& m = metrics_[static_cast<std::size_t>(id)];
+  return rows_.at(row)[m.offset + static_cast<std::size_t>(instance)];
+}
+
+const util::Histogram& MetricsRegistry::histogram(Id id) const {
+  return histograms_[metrics_[static_cast<std::size_t>(id)].hist];
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os.precision(10);
+  os << "{\n\"samples\": " << times_.size() << ",\n\"times\": [";
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    os << (i ? ", " : "") << times_[i];
+  }
+  os << "],\n\"series\": [\n";
+  bool first = true;
+  for (const Metric& m : metrics_) {
+    if (m.kind == MetricKind::kHistogram) continue;
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\": \"" << m.name << "\", \"kind\": \"" << to_string(m.kind)
+       << "\", \"instances\": " << m.instances << ", \"values\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      os << (r ? ", " : "");
+      if (m.instances == 1) {
+        os << rows_[r][m.offset];
+      } else {
+        os << "[";
+        for (int k = 0; k < m.instances; ++k) {
+          os << (k ? ", " : "")
+             << rows_[r][m.offset + static_cast<std::size_t>(k)];
+        }
+        os << "]";
+      }
+    }
+    os << "]}";
+  }
+  os << "\n],\n\"histograms\": [\n";
+  first = true;
+  for (const Metric& m : metrics_) {
+    if (m.kind != MetricKind::kHistogram) continue;
+    if (!first) os << ",\n";
+    first = false;
+    const util::Histogram& h = histograms_[m.hist];
+    os << "{\"name\": \"" << m.name << "\", \"count\": " << h.count()
+       << ", \"mean\": " << h.mean() << ", \"p50\": " << h.percentile(0.5)
+       << ", \"p95\": " << h.percentile(0.95)
+       << ", \"p99\": " << h.percentile(0.99)
+       << ", \"overflow\": " << h.overflow() << ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+      os << (i ? ", " : "") << h.buckets()[i];
+    }
+    os << "]}";
+  }
+  os << "\n]\n}\n";
+}
+
+void MetricsRegistry::write_heatmap_csv(std::ostream& os,
+                                        const std::string& metric) const {
+  const Metric* found = nullptr;
+  for (const Metric& m : metrics_) {
+    if (m.name == metric) {
+      found = &m;
+      break;
+    }
+  }
+  if (found == nullptr || found->kind == MetricKind::kHistogram) {
+    throw std::invalid_argument(
+        "MetricsRegistry: no counter/gauge metric named '" + metric + "'");
+  }
+  os.precision(10);
+  os << "time";
+  for (int k = 0; k < found->instances; ++k) os << ",i" << k;
+  os << "\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << times_[r];
+    for (int k = 0; k < found->instances; ++k) {
+      os << "," << rows_[r][found->offset + static_cast<std::size_t>(k)];
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace drlnoc::obs

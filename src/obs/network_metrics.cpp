@@ -1,0 +1,74 @@
+#include "obs/network_metrics.h"
+
+#include <ostream>
+
+#include "noc/network.h"
+
+namespace drlnoc::obs {
+
+NetworkMetrics::NetworkMetrics(int num_nodes) : num_nodes_(num_nodes) {
+  link_flits_ = reg_.add_gauge("router.link_flits", num_nodes);
+  buffered_ = reg_.add_gauge("router.buffered_flits", num_nodes);
+  max_vc_occ_ = reg_.add_gauge("router.max_vc_occupancy", num_nodes);
+  nic_queue_ = reg_.add_gauge("nic.queue_depth", num_nodes);
+  latency_avg_ = reg_.add_gauge("net.latency_avg");
+  latency_p95_ = reg_.add_gauge("net.latency_p95");
+  offered_rate_ = reg_.add_gauge("net.offered_rate");
+  accepted_rate_ = reg_.add_gauge("net.accepted_rate");
+  occupancy_ = reg_.add_gauge("net.avg_buffer_occupancy");
+  active_fraction_ = reg_.add_gauge("net.avg_active_fraction");
+  energy_pj_ = reg_.add_gauge("net.energy_pj");
+  packets_offered_ = reg_.add_counter("net.packets_offered");
+  packets_received_ = reg_.add_counter("net.packets_received");
+  retries_ = reg_.add_counter("fault.retries");
+  packets_lost_ = reg_.add_counter("fault.packets_lost");
+  rerouted_hops_ = reg_.add_counter("fault.rerouted_hops");
+  flits_dropped_ = reg_.add_counter("fault.flits_dropped");
+  latency_hist_ = reg_.add_histogram("net.epoch_latency_avg",
+                                     /*limit=*/4096.0, /*buckets=*/512);
+}
+
+void NetworkMetrics::sample_node(int node, std::uint64_t link_flits,
+                                 int buffered_flits, int max_vc_occupancy,
+                                 std::uint64_t nic_queue_depth) {
+  reg_.set_gauge(link_flits_, node, static_cast<double>(link_flits));
+  reg_.set_gauge(buffered_, node, static_cast<double>(buffered_flits));
+  reg_.set_gauge(max_vc_occ_, node, static_cast<double>(max_vc_occupancy));
+  reg_.set_gauge(nic_queue_, node, static_cast<double>(nic_queue_depth));
+}
+
+void NetworkMetrics::commit_epoch(double time, const noc::EpochStats& stats) {
+  reg_.set_gauge(latency_avg_, 0, stats.avg_latency);
+  reg_.set_gauge(latency_p95_, 0, stats.p95_latency);
+  reg_.set_gauge(offered_rate_, 0, stats.offered_rate);
+  reg_.set_gauge(accepted_rate_, 0, stats.accepted_rate);
+  reg_.set_gauge(occupancy_, 0, stats.avg_buffer_occupancy);
+  reg_.set_gauge(active_fraction_, 0, stats.avg_active_fraction);
+  reg_.set_gauge(energy_pj_, 0, stats.total_energy_pj());
+  reg_.add_to_counter(packets_offered_, 0,
+                      static_cast<double>(stats.packets_offered));
+  reg_.add_to_counter(packets_received_, 0,
+                      static_cast<double>(stats.packets_received));
+  reg_.add_to_counter(retries_, 0, static_cast<double>(stats.retries));
+  reg_.add_to_counter(packets_lost_, 0,
+                      static_cast<double>(stats.packets_lost));
+  reg_.add_to_counter(rerouted_hops_, 0,
+                      static_cast<double>(stats.rerouted_hops));
+  reg_.add_to_counter(flits_dropped_, 0,
+                      static_cast<double>(stats.flits_dropped));
+  if (stats.packets_received > 0) reg_.observe(latency_hist_, stats.avg_latency);
+  reg_.commit_sample(time);
+}
+
+void NetworkMetrics::write_json(std::ostream& os) const {
+  os << "{\n\"schema\": 1,\n\"kind\": \"drlnoc-metrics\",\n\"num_nodes\": "
+     << num_nodes_ << ",\n\"registry\": ";
+  reg_.write_json(os);
+  os << "}\n";
+}
+
+void NetworkMetrics::write_heatmap_csv(std::ostream& os) const {
+  reg_.write_heatmap_csv(os, "router.link_flits");
+}
+
+}  // namespace drlnoc::obs

@@ -1,0 +1,69 @@
+// NetworkMetrics: the fabric's view onto a MetricsRegistry. Registers the
+// standard per-router / per-NIC / per-epoch metric families once at
+// construction and gives Network two allocation-free entry points:
+// sample_node() per router per epoch (before activity reset) and
+// commit_epoch() at the drain boundary. The registry it wraps exports to
+// JSON and a per-router heatmap CSV; see docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "obs/metrics.h"
+
+namespace drlnoc::noc {
+struct EpochStats;
+}  // namespace drlnoc::noc
+
+namespace drlnoc::obs {
+
+class NetworkMetrics {
+ public:
+  explicit NetworkMetrics(int num_nodes);
+
+  int num_nodes() const { return num_nodes_; }
+  MetricsRegistry& registry() { return reg_; }
+  const MetricsRegistry& registry() const { return reg_; }
+
+  /// Per-router sample for the closing epoch; called from
+  /// Network::drain_epoch_stats before the router's activity counters reset.
+  void sample_node(int node, std::uint64_t link_flits, int buffered_flits,
+                   int max_vc_occupancy, std::uint64_t nic_queue_depth);
+
+  /// Closes the epoch: folds the aggregate window into the global series
+  /// and commits one time-series row stamped with the epoch's end time.
+  void commit_epoch(double time, const noc::EpochStats& stats);
+
+  /// Registry JSON wrapped with a schema header.
+  void write_json(std::ostream& os) const;
+  /// Per-router link-utilization heatmap (rows = epochs, cols = routers).
+  void write_heatmap_csv(std::ostream& os) const;
+
+ private:
+  int num_nodes_;
+  MetricsRegistry reg_;
+  // Per-node families (instances = num_nodes).
+  MetricsRegistry::Id link_flits_;
+  MetricsRegistry::Id buffered_;
+  MetricsRegistry::Id max_vc_occ_;
+  MetricsRegistry::Id nic_queue_;
+  // Aggregate per-epoch gauges.
+  MetricsRegistry::Id latency_avg_;
+  MetricsRegistry::Id latency_p95_;
+  MetricsRegistry::Id offered_rate_;
+  MetricsRegistry::Id accepted_rate_;
+  MetricsRegistry::Id occupancy_;
+  MetricsRegistry::Id active_fraction_;
+  MetricsRegistry::Id energy_pj_;
+  // Per-epoch counters (reset on commit).
+  MetricsRegistry::Id packets_offered_;
+  MetricsRegistry::Id packets_received_;
+  MetricsRegistry::Id retries_;
+  MetricsRegistry::Id packets_lost_;
+  MetricsRegistry::Id rerouted_hops_;
+  MetricsRegistry::Id flits_dropped_;
+  // Run-cumulative histogram of per-epoch average latency.
+  MetricsRegistry::Id latency_hist_;
+};
+
+}  // namespace drlnoc::obs

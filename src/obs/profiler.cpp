@@ -1,0 +1,55 @@
+#include "obs/profiler.h"
+
+#include <ostream>
+
+namespace drlnoc::obs {
+
+const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kNetStep: return "net_step";
+    case Phase::kRollout: return "rollout";
+    case Phase::kEnvStep: return "env_step";
+    case Phase::kLearn: return "learn";
+    case Phase::kReplaySample: return "replay_sample";
+    case Phase::kEvaluate: return "evaluate";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+Profiler& Profiler::instance() {
+  static Profiler p;
+  return p;
+}
+
+Profiler::PhaseTotals Profiler::totals(Phase phase) const {
+  const auto i = static_cast<std::size_t>(phase);
+  return {ns_[i].load(std::memory_order_relaxed),
+          count_[i].load(std::memory_order_relaxed)};
+}
+
+void Profiler::reset() {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Phase::kCount); ++i) {
+    ns_[i].store(0, std::memory_order_relaxed);
+    count_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Profiler::write_json(std::ostream& os) const {
+  os << "{\"enabled\": " << (enabled() ? "true" : "false")
+     << ", \"phases\": [";
+  bool first = true;
+  for (int i = 0; i < static_cast<int>(Phase::kCount); ++i) {
+    const PhaseTotals t = totals(static_cast<Phase>(i));
+    if (t.count == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"name\": \"" << to_string(static_cast<Phase>(i))
+       << "\", \"ns\": " << t.ns << ", \"count\": " << t.count
+       << ", \"mean_ns\": "
+       << static_cast<double>(t.ns) / static_cast<double>(t.count) << "}";
+  }
+  os << "]}";
+}
+
+}  // namespace drlnoc::obs

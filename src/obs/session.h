@@ -1,0 +1,88 @@
+// ObsSession: the one-stop wiring layer the CLI tools and benches share.
+// Parses `--trace-out=` / `--metrics-out=` / `--trace-sample=` /
+// `--trace-capacity=` into ObsOptions, owns the FlightRecorder and
+// NetworkMetrics for one run, attaches them to a Network, annotates
+// scenario-level events (tenant windows), and writes every artifact on
+// finish(). A default-constructed / disabled session is inert: no recorder,
+// no metrics, profiler untouched, attach() a no-op — so the observer-free
+// hot path stays bit-identical and branch-predictable.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/flight_recorder.h"
+#include "obs/network_metrics.h"
+
+namespace drlnoc::util {
+class Config;
+}  // namespace drlnoc::util
+
+namespace drlnoc::noc {
+class Network;
+}  // namespace drlnoc::noc
+
+namespace drlnoc::scenario {
+struct Scenario;
+}  // namespace drlnoc::scenario
+
+namespace drlnoc::obs {
+
+struct ObsOptions {
+  std::string trace_out;    ///< Chrome trace-event JSON path; "" = no trace
+  std::string metrics_out;  ///< metrics JSON path; "" = no metrics
+  double sample_rate = 1.0; ///< packet-lifecycle sampling fraction [0,1]
+  std::size_t capacity = FlightRecorderParams{}.capacity;
+
+  /// Reads the normalized config keys "trace-out", "metrics-out",
+  /// "trace-sample", "trace-capacity" (util::Config strips the leading
+  /// "--" of flag-style tokens).
+  static ObsOptions from_config(const util::Config& cfg);
+
+  bool enabled() const { return !trace_out.empty() || !metrics_out.empty(); }
+};
+
+class ObsSession {
+ public:
+  ObsSession() = default;
+  /// Arms the session when `opts.enabled()`: builds the recorder (when a
+  /// trace is requested), resets and enables the profiler.
+  explicit ObsSession(ObsOptions opts);
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  bool enabled() const { return options_.enabled(); }
+  const ObsOptions& options() const { return options_; }
+
+  FlightRecorder* recorder() { return recorder_.get(); }
+  /// Lazily builds the metrics sink for a `num_nodes`-node fabric; returns
+  /// nullptr when no metrics output was requested.
+  NetworkMetrics* metrics(int num_nodes);
+
+  /// Attaches recorder + metrics to `net` (no-op when disabled). Safe to
+  /// call again for a rebuilt fabric of the same size (RL episode resets).
+  void attach(noc::Network& net);
+
+  /// Records scenario-level instants: one kTenantStart per tenant window
+  /// open and one kTenantStop per finite window close.
+  void annotate_scenario(const scenario::Scenario& scenario);
+
+  /// Writes the trace JSON, metrics JSON (+ profiler section), and the
+  /// per-router heatmap CSV next to the metrics path. Disables the
+  /// profiler. Returns false when any output file could not be written
+  /// (after logging the path).
+  bool finish();
+
+ private:
+  ObsOptions options_{};
+  std::unique_ptr<FlightRecorder> recorder_;
+  std::unique_ptr<NetworkMetrics> metrics_;
+  bool finished_ = false;
+};
+
+/// "foo.json" -> "foo_heatmap.csv"; "foo" -> "foo_heatmap.csv".
+std::string heatmap_path_for(const std::string& metrics_path);
+
+}  // namespace drlnoc::obs

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "nn/loss.h"
+#include "obs/profiler.h"
 
 namespace drlnoc::rl {
 
@@ -156,10 +157,13 @@ double DqnAgent::td_target(const Transition& t,
 
 double DqnAgent::learn() {
   SampledBatch& batch = ws_batch_;
-  if (params_.prioritized) {
-    prioritized_replay_->sample_into(batch, params_.batch_size, rng_);
-  } else {
-    uniform_replay_->sample_into(batch, params_.batch_size, rng_);
+  {
+    obs::ScopedPhase prof(obs::Phase::kReplaySample);
+    if (params_.prioritized) {
+      prioritized_replay_->sample_into(batch, params_.batch_size, rng_);
+    } else {
+      uniform_replay_->sample_into(batch, params_.batch_size, rng_);
+    }
   }
 
   stack_states_into(ws_next_states_, batch.transitions, true);

@@ -181,13 +181,17 @@ std::unique_ptr<core::Controller> build_scheduled_controller(
                               ctl.type + "'");
 }
 
-ScheduledRunResult run_scheduled(const Scenario& scenario) {
+ScheduledRunResult run_scheduled(const Scenario& scenario,
+                                 obs::FlightRecorder* recorder,
+                                 obs::NetworkMetrics* metrics) {
   scenario.validate();
   core::NocEnvParams ep;
   ep.scenario = std::make_shared<Scenario>(scenario);
   ep.net.seed = scenario.net.seed;  // standalone runs use the scenario seed
   ep.epoch_cycles = scenario.controller.epoch_cycles;
   ep.epochs_per_episode = scenario.controller.epochs;
+  ep.recorder = recorder;
+  ep.metrics = metrics;
   core::NocConfigEnv env(ep);
   const auto controller = build_scheduled_controller(scenario, env);
   ScheduledRunResult out;

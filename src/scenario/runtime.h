@@ -15,6 +15,11 @@
 #include "scenario/composite_workload.h"
 #include "scenario/scenario.h"
 
+namespace drlnoc::obs {
+class FlightRecorder;
+class NetworkMetrics;
+}  // namespace drlnoc::obs
+
 namespace drlnoc::scenario {
 
 /// Builds the scenario's fabric (topology/seed/etc. from `scenario.net`).
@@ -92,7 +97,10 @@ struct ScheduledRunResult {
 /// Runs the scenario under its [controller] schedule: `controller.epochs`
 /// epochs of `controller.epoch_cycles` router cycles, the scheduled
 /// controller reconfiguring the fabric between epochs, per-tenant QoS
-/// objectives active when the scenario declares them.
-ScheduledRunResult run_scheduled(const Scenario& scenario);
+/// objectives active when the scenario declares them. Optional (non-owning)
+/// observability taps are attached to the fabric on every episode reset.
+ScheduledRunResult run_scheduled(const Scenario& scenario,
+                                 obs::FlightRecorder* recorder = nullptr,
+                                 obs::NetworkMetrics* metrics = nullptr);
 
 }  // namespace drlnoc::scenario

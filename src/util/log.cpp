@@ -1,6 +1,8 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
 
 namespace drlnoc::util {
@@ -26,6 +28,45 @@ void set_log_level(LogLevel level) {
 
 LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+std::optional<LogLevel> parse_log_level(const std::string& text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+bool init_log(const std::string& override_level) {
+  bool ok = true;
+  if (const char* env = std::getenv("DRLNOC_LOG"); env != nullptr && *env) {
+    if (const auto level = parse_log_level(env)) {
+      set_log_level(*level);
+    } else {
+      log_line(LogLevel::kWarn,
+               std::string("unknown DRLNOC_LOG level '") + env +
+                   "' (want debug|info|warn|error|off)");
+      ok = false;
+    }
+  }
+  if (!override_level.empty()) {
+    if (const auto level = parse_log_level(override_level)) {
+      set_log_level(*level);
+    } else {
+      log_line(LogLevel::kWarn, "unknown log level '" + override_level +
+                                    "' (want debug|info|warn|error|off)");
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 void log_line(LogLevel level, const std::string& message) {

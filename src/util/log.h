@@ -2,6 +2,7 @@
 // and entirely skipped below the active level.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -12,6 +13,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Global minimum level; default kWarn so tests/benches stay quiet.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parses "debug" | "info" | "warn" | "error" | "off" (case-insensitive);
+/// nullopt on anything else.
+std::optional<LogLevel> parse_log_level(const std::string& text);
+
+/// Tool-entry log setup: applies the DRLNOC_LOG environment variable when
+/// set, then `override_level` (typically a --log=LEVEL flag) when non-empty.
+/// Returns false — after warning — when either names an unknown level.
+bool init_log(const std::string& override_level = "");
 
 void log_line(LogLevel level, const std::string& message);
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/config.h"
+#include "util/log.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -175,6 +176,71 @@ TEST(Histogram, OverflowBucket) {
 TEST(Histogram, EmptyPercentileIsZero) {
   Histogram h(10.0, 10);
   EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, SingleSamplePercentiles) {
+  // With n = 1 every quantile lands in the sample's bucket; interpolation
+  // must stay within that bucket's [lo, hi) span.
+  Histogram h(100.0, 100);
+  h.add(42.5);  // bucket [42, 43)
+  for (double q : {0.0, 0.5, 0.95, 1.0}) {
+    const double p = h.percentile(q);
+    EXPECT_GE(p, 42.0) << "q=" << q;
+    EXPECT_LE(p, 43.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, AllEqualSamplesCollapseEveryPercentile) {
+  Histogram h(100.0, 100);
+  for (int i = 0; i < 1000; ++i) h.add(7.25);  // bucket [7, 8)
+  const double p50 = h.percentile(0.5);
+  const double p95 = h.percentile(0.95);
+  const double p99 = h.percentile(0.99);
+  EXPECT_GE(p50, 7.0);
+  EXPECT_LE(p99, 8.0);
+  // A degenerate distribution has no spread: p50/p95/p99 agree to within
+  // one bucket width.
+  EXPECT_NEAR(p50, p95, 1.0);
+  EXPECT_NEAR(p95, p99, 1.0);
+}
+
+TEST(Histogram, P95BoundaryInterpolation) {
+  // 95 of 100 samples in bucket [0,1), 5 in bucket [9,10): the p95 target
+  // (95 samples) is satisfied exactly at the first bucket's upper edge.
+  Histogram h(10.0, 10);
+  for (int i = 0; i < 95; ++i) h.add(0.5);
+  for (int i = 0; i < 5; ++i) h.add(9.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.95), 1.0);
+  // One sample past the boundary pushes p95 into the top bucket.
+  h.add(9.5);
+  EXPECT_GE(h.percentile(0.95), 9.0);
+}
+
+TEST(Histogram, PercentileClampsOutOfRangeQuantiles) {
+  Histogram h(10.0, 10);
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(-0.5), h.percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.percentile(1.5), h.percentile(1.0));
+}
+
+TEST(LogLevelParsing, AcceptsKnownNamesCaseInsensitively) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus"), std::nullopt);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+}
+
+TEST(LogLevelParsing, InitLogAppliesOverrideAndRestores) {
+  const LogLevel before = log_level();
+  EXPECT_TRUE(init_log("debug"));
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  EXPECT_FALSE(init_log("not-a-level"));
+  set_log_level(before);
 }
 
 TEST(Config, ParsesArgs) {

@@ -18,9 +18,11 @@
 #include <iostream>
 #include <string>
 
+#include "obs/session.h"
 #include "scenario/runtime.h"
 #include "scenario/scenario_io.h"
 #include "util/config.h"
+#include "util/log.h"
 #include "util/table.h"
 
 using namespace drlnoc;
@@ -34,7 +36,10 @@ constexpr const char* kUsage =
     "  run      file=X [cycle_limit=N] [duration=T] [seed=S]\n"
     "           [fault_rate=P] [fault_seed=S] [fault_timeout=N]\n"
     "           [fault_backoff=B] [fault_budget=N]\n"
+    "           [--trace-out=F] [--metrics-out=F] [--trace-sample=P]\n"
+    "           [--trace-capacity=N]\n"
     "           (scheduled: [epochs=N] [epoch_cycles=N])\n"
+    "Common: [--log=debug|info|warn|error|off] (or DRLNOC_LOG env var).\n"
     "Pass --help after a subcommand for its full option list; the .drlsc\n"
     "format is specified in docs/FORMATS.md.\n";
 
@@ -75,7 +80,15 @@ int help(const std::string& command) {
            "scheduled policy evaluation (static/heuristic/trained-DRL)\n"
            "reporting per-tenant latency and SLO hit rates; epochs= and\n"
            "epoch_cycles= override the schedule, cycle_limit/duration do\n"
-           "not apply, and completion exits 0.\n";
+           "not apply, and completion exits 0.\n"
+           "Observability (see docs/OBSERVABILITY.md): --trace-out=F writes\n"
+           "a Chrome trace-event JSON of sampled packet lifecycles and\n"
+           "scenario/fault/config events (open in Perfetto);\n"
+           "--trace-sample=P sets the sampled packet fraction (default 1.0)\n"
+           "and --trace-capacity=N the ring size. --metrics-out=F writes\n"
+           "per-epoch metrics JSON (plus profiler phase timings) and a\n"
+           "per-router link-utilization heatmap CSV next to it. Observers\n"
+           "never change simulation results.\n";
   } else {
     std::cout << kUsage;
   }
@@ -184,8 +197,10 @@ int cmd_describe(const util::Config& cfg) {
 /// A scheduled run: the scenario's [controller] block drives the fabric
 /// epoch by epoch (the paper-row replay path). Prints episode metrics plus
 /// per-tenant latency and SLO hit rate.
-int run_with_schedule(const scenario::Scenario& s) {
-  const scenario::ScheduledRunResult r = scenario::run_scheduled(s);
+int run_with_schedule(const scenario::Scenario& s, obs::ObsSession& session) {
+  if (session.enabled()) session.annotate_scenario(s);
+  const scenario::ScheduledRunResult r = scenario::run_scheduled(
+      s, session.recorder(), session.metrics(s.net.width * s.net.height));
   const core::EpisodeResult& ep = r.episode;
   std::cout << "ran '" << s.name << "' under controller '" << ep.controller
             << "': " << ep.actions.size() << " epochs x "
@@ -254,6 +269,7 @@ void apply_fault_overrides(const util::Config& cfg, scenario::Scenario& s) {
 int cmd_run(const util::Config& cfg) {
   const std::string path = cfg.get("file", std::string());
   if (path.empty()) return usage();
+  obs::ObsSession session(obs::ObsOptions::from_config(cfg));
   scenario::Scenario s = scenario::ScenarioReader::read_file(path);
   s.cycle_limit = static_cast<std::uint64_t>(
       cfg.get("cycle_limit", static_cast<long long>(s.cycle_limit)));
@@ -267,17 +283,27 @@ int cmd_run(const util::Config& cfg) {
     const long long cycles = cfg.get(
         "epoch_cycles", static_cast<long long>(s.controller.epoch_cycles));
     if (cycles <= 0) {
-      std::cerr << "scenarioctl: epoch_cycles must be > 0\n";
+      LOG_ERROR << "scenarioctl: epoch_cycles must be > 0";
       return 2;
     }
     s.controller.epoch_cycles = static_cast<std::uint64_t>(cycles);
     s.controller.epochs = cfg.get("epochs", s.controller.epochs);
     s.validate();  // overrides may have broken the schedule
-    return run_with_schedule(s);
+    const int rc = run_with_schedule(s, session);
+    if (!session.finish() && rc == 0) return 1;
+    return rc;
   }
   s.validate();  // overrides may have broken the horizon invariant
 
-  const scenario::ScenarioRunResult r = scenario::run_scenario(s);
+  auto net = scenario::build_network(s);
+  auto workload = scenario::build_workload(s, net->topology());
+  session.attach(*net);
+  session.annotate_scenario(s);
+  scenario::ScenarioRunParams rp;
+  rp.cycle_limit = s.cycle_limit;
+  rp.duration = s.duration;
+  const scenario::ScenarioRunResult r =
+      scenario::run_scenario(*net, *workload, rp);
   std::cout << "ran '" << s.name << "' on " << s.net.topology << " "
             << s.net.width << "x" << s.net.height << ": "
             << r.cycles << " router cycles, "
@@ -318,7 +344,8 @@ int cmd_run(const util::Config& cfg) {
         .cell(t.energy_share_pj, 1);
   }
   tab.print(std::cout);
-  return r.completed ? 0 : 1;
+  const bool obs_ok = session.finish();
+  return r.completed && obs_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -334,13 +361,14 @@ int main(int argc, char** argv) {
   try {
     // Config::from_args skips its argv[0] slot; shift past the subcommand.
     const util::Config cfg = util::Config::from_args(argc - 1, argv + 1);
+    util::init_log(cfg.get("log", std::string()));
     if (command == "validate") return cmd_validate(cfg);
     if (command == "describe") return cmd_describe(cfg);
     if (command == "run") return cmd_run(cfg);
-    std::cerr << "scenarioctl: unknown command '" << command << "'\n";
+    LOG_ERROR << "scenarioctl: unknown command '" << command << "'";
     return usage();
   } catch (const std::exception& e) {
-    std::cerr << "scenarioctl: " << e.what() << "\n";
+    LOG_ERROR << "scenarioctl: " << e.what();
     return 1;
   }
 }

@@ -22,6 +22,7 @@
 #include "trace/trace_io.h"
 #include "trace/trace_workload.h"
 #include "util/config.h"
+#include "util/log.h"
 #include "util/table.h"
 
 using namespace drlnoc;
@@ -266,7 +267,7 @@ int cmd_generate(const util::Config& cfg) {
     p.start_time = cfg.get("start", p.start_time);
     t = trace::generate_alltoall(p);
   } else {
-    std::cerr << "tracectl: unknown kind '" << kind << "'\n";
+    LOG_ERROR << "tracectl: unknown kind '" << kind << "'";
     return usage();
   }
   trace::TraceWriter::write_file(out, t);
@@ -289,8 +290,8 @@ int cmd_replay(const util::Config& cfg) {
   p.height = cfg.get("height", size);
   p.seed = cfg.get("seed", 1);
   if (p.width * p.height < t.nodes) {
-    std::cerr << "tracectl: trace needs " << t.nodes << " nodes, network has "
-              << p.width * p.height << " (pass size=/width=/height=)\n";
+    LOG_ERROR << "tracectl: trace needs " << t.nodes << " nodes, network has "
+              << p.width * p.height << " (pass size=/width=/height=)";
     return 1;
   }
 
@@ -340,15 +341,16 @@ int main(int argc, char** argv) {
   try {
     // Config::from_args skips its argv[0] slot; shift past the subcommand.
     const util::Config cfg = util::Config::from_args(argc - 1, argv + 1);
+    util::init_log(cfg.get("log", std::string()));
     if (command == "info") return cmd_info(cfg);
     if (command == "stats") return cmd_stats(cfg);
     if (command == "convert") return cmd_convert(cfg);
     if (command == "generate") return cmd_generate(cfg);
     if (command == "replay") return cmd_replay(cfg);
-    std::cerr << "tracectl: unknown command '" << command << "'\n";
+    LOG_ERROR << "tracectl: unknown command '" << command << "'";
     return usage();
   } catch (const std::exception& e) {
-    std::cerr << "tracectl: " << e.what() << "\n";
+    LOG_ERROR << "tracectl: " << e.what();
     return 1;
   }
 }
