@@ -77,22 +77,12 @@ inline std::unique_ptr<rl::DqnAgent> train_agent(core::NocConfigEnv& env,
   return agent;
 }
 
-/// Mean + normal-approximation 95% CI of one metric across replica values
-/// (the per-tenant counterpart of core::evaluate_many's aggregate
-/// summaries; shared by the multi-tenant tables T5/T6).
+/// Mean + normal-approximation 95% CI of one metric across replica values.
+/// Thin alias for core::summarize_metric (the implementation moved into the
+/// library so the fleet harness and tests share it); kept so the table
+/// benches read as before.
 inline core::MetricSummary summarize_metric(const std::vector<double>& xs) {
-  core::MetricSummary m;
-  const auto n = static_cast<double>(xs.size());
-  if (xs.empty()) return m;
-  for (double x : xs) m.mean += x;
-  m.mean /= n;
-  if (n >= 2.0) {
-    double var = 0.0;
-    for (double x : xs) var += (x - m.mean) * (x - m.mean);
-    m.stddev = std::sqrt(var / (n - 1.0));
-    m.ci95 = 1.96 * m.stddev / std::sqrt(n);
-  }
-  return m;
+  return core::summarize_metric(xs);
 }
 
 /// Honors `--trace-out=` / `--metrics-out=` / `--trace-sample=` on the table

@@ -246,8 +246,13 @@ int main(int argc, char** argv) {
     return rc;
   }
   if (session.enabled()) {
-    LOG_WARN << "traffic_explorer: --trace-out/--metrics-out are ignored by "
-                "the parallel pattern sweep; use a --workload mode";
+    // Hard error, not a warning: the parallel pattern sweep cannot attach
+    // the single-threaded observability taps, and silently dropping a
+    // requested artifact has proven easy to miss in scripted runs.
+    LOG_ERROR << "traffic_explorer: --trace-out/--metrics-out cannot observe "
+                 "the parallel pattern sweep; pick a --workload mode "
+                 "(trace=, scenario=, phased) to capture artifacts";
+    return 2;
   }
 
   // All patterns are measured concurrently; a pattern the topology rejects

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validate fleet scorecard JSON shape (stdlib only; CI gate).
+
+Usage: check_scorecard.py SCORECARD.json [...] [--expect-complete]
+
+Checks each file parses as JSON and carries the schema the fleet
+subsystem promises (src/fleet/scorecard.h): schema/coverage fields,
+aggregate metric summaries (mean/stddev/ci95 triples, all finite),
+per-class SLO blocks with rates in [0, 1], non-negative degradation
+counters, and a worst-k array whose entries name a scenario. With
+--expect-complete, also fails when any scenario is missing (a resumed
+fleet that never finished).
+"""
+
+import argparse
+import json
+import math
+import sys
+
+AGGREGATE_METRICS = ("reward", "latency", "p95", "power_mw", "edp")
+DEGRADATION_KEYS = ("flits_dropped", "retries", "packets_lost",
+                    "rerouted_hops")
+
+
+def fail(path, msg):
+    raise SystemExit(f"check_scorecard: {path}: {msg}")
+
+
+def require(cond, path, msg):
+    if not cond:
+        fail(path, msg)
+
+
+def check_finite(value, path, what):
+    require(isinstance(value, (int, float)) and not isinstance(value, bool),
+            path, f"{what} is not a number: {value!r}")
+    require(math.isfinite(value), path, f"{what} is not finite: {value!r}")
+
+
+def check_scorecard(path, expect_complete):
+    with open(path, encoding="utf-8") as f:
+        card = json.load(f)
+
+    require(card.get("scorecard") == 1, path,
+            f"unsupported scorecard schema: {card.get('scorecard')!r}")
+    require(isinstance(card.get("spec"), str) and card["spec"], path,
+            "spec name missing")
+    for key in ("space_size", "scored", "missing"):
+        value = card.get(key)
+        require(isinstance(value, int) and value >= 0, path,
+                f"{key} must be a non-negative integer, got {value!r}")
+    require(card["scored"] + card["missing"] == card["space_size"], path,
+            "scored + missing != space_size")
+    if expect_complete:
+        require(card["missing"] == 0, path,
+                f"{card['missing']} of {card['space_size']} scenarios missing")
+
+    aggregate = card.get("aggregate")
+    require(isinstance(aggregate, dict), path, "aggregate block missing")
+    for metric in AGGREGATE_METRICS:
+        for suffix in ("mean", "stddev", "ci95"):
+            key = f"{metric}_{suffix}"
+            require(key in aggregate, path, f"aggregate.{key} missing")
+            check_finite(aggregate[key], path, f"aggregate.{key}")
+        check_finite(aggregate[f"{metric}_stddev"], path, "")
+        require(aggregate[f"{metric}_stddev"] >= 0, path,
+                f"aggregate.{metric}_stddev is negative")
+
+    slo = card.get("slo")
+    require(isinstance(slo, dict), path, "slo block missing")
+    for cls, score in slo.items():
+        require(isinstance(score, dict), path, f"slo.{cls} is not an object")
+        require(isinstance(score.get("tenants"), int)
+                and score["tenants"] >= 1, path,
+                f"slo.{cls}.tenants must be a positive integer")
+        for key in ("slo_hit_rate", "worst_slo_hit_rate"):
+            check_finite(score.get(key), path, f"slo.{cls}.{key}")
+            require(0.0 <= score[key] <= 1.0, path,
+                    f"slo.{cls}.{key} outside [0, 1]: {score[key]}")
+        require(score["worst_slo_hit_rate"] <= score["slo_hit_rate"], path,
+                f"slo.{cls}: worst rate exceeds the mean rate")
+        for key in ("p95_mean", "p95_p95"):
+            check_finite(score.get(key), path, f"slo.{cls}.{key}")
+            require(score[key] >= 0, path, f"slo.{cls}.{key} is negative")
+
+    degradation = card.get("degradation")
+    require(isinstance(degradation, dict), path, "degradation block missing")
+    for key in DEGRADATION_KEYS:
+        value = degradation.get(key)
+        require(isinstance(value, int) and value >= 0, path,
+                f"degradation.{key} must be a non-negative integer")
+
+    worst = card.get("worst")
+    require(isinstance(worst, list), path, "worst array missing")
+    for i, entry in enumerate(worst):
+        require(isinstance(entry, dict), path, f"worst[{i}] is not an object")
+        require(isinstance(entry.get("index"), int) and entry["index"] >= 0,
+                path, f"worst[{i}].index invalid")
+        require(entry["index"] < card["space_size"], path,
+                f"worst[{i}].index {entry['index']} outside the space")
+        require(isinstance(entry.get("label"), str) and entry["label"], path,
+                f"worst[{i}].label missing")
+        check_finite(entry.get("min_slo_hit_rate"), path,
+                     f"worst[{i}].min_slo_hit_rate")
+        check_finite(entry.get("worst_p95"), path, f"worst[{i}].worst_p95")
+    # Worst entries are sorted: lowest min SLO hit rate first.
+    rates = [entry["min_slo_hit_rate"] for entry in worst]
+    require(rates == sorted(rates), path, "worst array is not sorted")
+
+    print(f"check_scorecard: {path}: OK "
+          f"(spec '{card['spec']}', {card['scored']}/{card['space_size']} "
+          f"scenarios, {len(slo)} QoS classes, {len(worst)} worst entries)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="scorecard JSON files")
+    parser.add_argument("--expect-complete", action="store_true",
+                        help="fail if any scenario is missing")
+    args = parser.parse_args()
+    for path in args.files:
+        check_scorecard(path, args.expect_complete)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

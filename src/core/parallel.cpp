@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace drlnoc::core {
 
@@ -42,25 +43,38 @@ std::vector<EpisodeResult> sweep_static_parallel(
   return results;
 }
 
-namespace {
-
-MetricSummary summarize(const std::vector<Replica>& replicas,
-                        double (*metric)(const EpisodeResult&)) {
+MetricSummary summarize_metric(const std::vector<double>& xs) {
   MetricSummary s;
-  const std::size_t n = replicas.size();
+  const std::size_t n = xs.size();
   if (n == 0) return s;
   double sum = 0.0;
-  for (const Replica& r : replicas) sum += metric(r.result);
+  for (double x : xs) {
+    if (std::isnan(x)) {
+      throw std::invalid_argument(
+          "summarize_metric: NaN sample (a NaN metric is an upstream bug)");
+    }
+    sum += x;
+  }
   s.mean = sum / static_cast<double>(n);
   if (n < 2) return s;
   double sq = 0.0;
-  for (const Replica& r : replicas) {
-    const double d = metric(r.result) - s.mean;
+  for (double x : xs) {
+    const double d = x - s.mean;
     sq += d * d;
   }
   s.stddev = std::sqrt(sq / static_cast<double>(n - 1));
   s.ci95 = 1.96 * s.stddev / std::sqrt(static_cast<double>(n));
   return s;
+}
+
+namespace {
+
+MetricSummary summarize(const std::vector<Replica>& replicas,
+                        double (*metric)(const EpisodeResult&)) {
+  std::vector<double> xs;
+  xs.reserve(replicas.size());
+  for (const Replica& r : replicas) xs.push_back(metric(r.result));
+  return summarize_metric(xs);
 }
 
 }  // namespace

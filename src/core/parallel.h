@@ -74,6 +74,13 @@ struct MetricSummary {
   double ci95 = 0.0;  ///< 1.96 * stddev / sqrt(n); 0 when n < 2
 };
 
+/// Mean + normal-approximation 95% CI of a metric across replica values.
+/// n = 0 returns all zeros; n = 1 returns the value with zero spread;
+/// zero-variance samples report stddev = ci95 = 0 exactly. NaN values are
+/// rejected (std::invalid_argument) — a NaN metric is always an upstream
+/// bug, and letting it poison a mean hides where it entered.
+MetricSummary summarize_metric(const std::vector<double>& xs);
+
 struct ReplicationResult {
   std::vector<Replica> replicas;  ///< ordered by task index
   MetricSummary reward;

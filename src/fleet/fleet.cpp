@@ -1,0 +1,279 @@
+#include "fleet/fleet.h"
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/env_noc.h"
+#include "core/trainer.h"
+#include "scenario/runtime.h"
+#include "scenario/scenario_io.h"
+#include "util/config.h"
+
+namespace drlnoc::fleet {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("fleet: " + what);
+}
+
+std::uint64_t fnv1a64(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+void check_params(const FleetParams& params) {
+  if (params.controller != "heuristic" && params.controller != "static-max" &&
+      params.controller != "static-min" && params.controller != "drl") {
+    fail("controller must be drl|heuristic|static-max|static-min, got '" +
+         params.controller + "'");
+  }
+  if (params.controller == "drl" && params.policy_blob.empty()) {
+    fail("drl fleet requires a trained policy (policy_blob empty)");
+  }
+  if (params.epoch_cycles == 0) fail("epoch_cycles must be > 0");
+  if (params.epochs <= 0) fail("epochs must be > 0");
+  if (params.shards < 1) fail("shards must be >= 1");
+  if (params.shard < 0 || params.shard >= params.shards) {
+    fail("shard must be in [0, shards), got " + std::to_string(params.shard) +
+         " of " + std::to_string(params.shards));
+  }
+  if (params.results_dir.empty()) fail("results_dir is required");
+}
+
+}  // namespace
+
+std::string result_key(const ScenarioSpace& space, std::size_t index,
+                       const FleetParams& params) {
+  // Everything that determines the outcome feeds the hash, each field
+  // separated by an out-of-band byte so concatenations cannot collide.
+  std::uint64_t h = 1469598103934665603ULL;
+  h = fnv1a64(h, space.spec_text);
+  h = fnv1a64(h, std::string(1, '\0') + std::to_string(index));
+  h = fnv1a64(h, std::string(1, '\0') + params.controller);
+  h = fnv1a64(h, std::string(1, '\0') + params.policy_blob);
+  h = fnv1a64(h, std::string(1, '\0') + std::to_string(params.epoch_cycles));
+  h = fnv1a64(h, std::string(1, '\0') + std::to_string(params.epochs));
+  h = fnv1a64(h, std::string(1, '\0') +
+                     (params.qos_features ? "qos" : "aggregate"));
+  return hex16(h);
+}
+
+std::string result_path(const std::string& results_dir, std::size_t index,
+                        const std::string& key) {
+  return results_dir + "/result-" + std::to_string(index) + "-" + key +
+         kFleetResultExtension;
+}
+
+void write_result_file(const std::string& path,
+                       const FleetScenarioResult& r) {
+  // tmp + rename: a killed run leaves either the complete file or no file
+  // with the final name, so resume never trusts a torn write.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp);
+    if (!os) throw std::runtime_error("fleet: cannot write " + tmp);
+    os.precision(17);
+    os << "drlfr " << kFleetResultFormatVersion << "\n";
+    os << "index = " << r.index << "\n";
+    os << "label = " << r.label << "\n";
+    os << "seed = " << r.seed << "\n";
+    os << "reward = " << r.reward << "\n";
+    os << "mean_latency = " << r.mean_latency << "\n";
+    os << "p95_latency = " << r.p95_latency << "\n";
+    os << "mean_power_mw = " << r.mean_power_mw << "\n";
+    os << "mean_edp = " << r.mean_edp << "\n";
+    os << "flits_dropped = " << r.flits_dropped << "\n";
+    os << "retries = " << r.retries << "\n";
+    os << "packets_lost = " << r.packets_lost << "\n";
+    os << "rerouted_hops = " << r.rerouted_hops << "\n";
+    os << "tenants = " << r.tenants.size() << "\n";
+    for (std::size_t i = 0; i < r.tenants.size(); ++i) {
+      const FleetTenantOutcome& t = r.tenants[i];
+      const std::string p = "tenant" + std::to_string(i) + ".";
+      os << p << "name = " << t.name << "\n";
+      os << p << "qos = " << t.qos << "\n";
+      os << p << "slo_hit_rate = " << t.slo_hit_rate << "\n";
+      os << p << "p95_latency = " << t.p95_latency << "\n";
+      os << p << "accepted_rate = " << t.accepted_rate << "\n";
+    }
+    if (!os.flush()) throw std::runtime_error("fleet: write failed for " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw std::runtime_error("fleet: cannot rename " + tmp + " -> " + path +
+                             ": " + ec.message());
+  }
+}
+
+std::optional<FleetScenarioResult> read_result_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  const auto nl = text.find('\n');
+  const std::string magic = text.substr(0, nl == std::string::npos ? 0 : nl);
+  if (magic != "drlfr " + std::to_string(kFleetResultFormatVersion)) {
+    throw std::runtime_error("fleet: " + path +
+                             ": missing magic line (expected 'drlfr 1')");
+  }
+  const util::Config cfg = util::Config::from_text(text.substr(nl + 1));
+  FleetScenarioResult r;
+  r.index = static_cast<std::size_t>(cfg.get("index", 0LL));
+  r.label = cfg.get("label", std::string());
+  r.seed = static_cast<std::uint64_t>(cfg.get("seed", 0LL));
+  r.reward = cfg.get("reward", 0.0);
+  r.mean_latency = cfg.get("mean_latency", 0.0);
+  r.p95_latency = cfg.get("p95_latency", 0.0);
+  r.mean_power_mw = cfg.get("mean_power_mw", 0.0);
+  r.mean_edp = cfg.get("mean_edp", 0.0);
+  r.flits_dropped = static_cast<std::uint64_t>(cfg.get("flits_dropped", 0LL));
+  r.retries = static_cast<std::uint64_t>(cfg.get("retries", 0LL));
+  r.packets_lost = static_cast<std::uint64_t>(cfg.get("packets_lost", 0LL));
+  r.rerouted_hops = static_cast<std::uint64_t>(cfg.get("rerouted_hops", 0LL));
+  const int tenants = cfg.get("tenants", 0);
+  for (int i = 0; i < tenants; ++i) {
+    const std::string p = "tenant" + std::to_string(i) + ".";
+    FleetTenantOutcome t;
+    t.name = cfg.get(p + "name", t.name);
+    t.qos = cfg.get(p + "qos", t.qos);
+    t.slo_hit_rate = cfg.get(p + "slo_hit_rate", t.slo_hit_rate);
+    t.p95_latency = cfg.get(p + "p95_latency", t.p95_latency);
+    t.accepted_rate = cfg.get(p + "accepted_rate", t.accepted_rate);
+    r.tenants.push_back(t);
+  }
+  return r;
+}
+
+FleetScenarioResult evaluate_scenario(const ExpandedScenario& point,
+                                      const FleetParams& params,
+                                      obs::FlightRecorder* recorder,
+                                      obs::NetworkMetrics* metrics) {
+  check_params(params);
+  // Install the fleet's controller as the scenario's schedule, so the same
+  // build path (and the same policy-vs-environment dimension check) serves
+  // standalone scheduled runs and fleets.
+  scenario::Scenario scn = point.scenario;
+  scn.controller = scenario::ControllerSchedule{};
+  scn.controller.type = params.controller;
+  scn.controller.epoch_cycles = params.epoch_cycles;
+  scn.controller.epochs = params.epochs;
+  if (params.controller == "drl") {
+    scn.controller.policy_file =
+        params.policy_file.empty() ? "<fleet policy>" : params.policy_file;
+    scn.controller.policy_blob = params.policy_blob;
+  }
+
+  core::NocEnvParams ep;
+  ep.scenario = std::make_shared<scenario::Scenario>(scn);
+  ep.net.seed = scn.net.seed;
+  ep.scenario_qos = params.qos_features;
+  ep.epoch_cycles = params.epoch_cycles;
+  ep.epochs_per_episode = params.epochs;
+  ep.recorder = recorder;
+  ep.metrics = metrics;
+  core::NocConfigEnv env(ep);
+  const auto controller = scenario::build_scheduled_controller(scn, env);
+  const core::EpisodeResult episode = core::evaluate(env, *controller);
+
+  FleetScenarioResult r;
+  r.index = point.index;
+  r.label = point.label;
+  r.seed = scn.net.seed;
+  r.reward = episode.total_reward;
+  r.mean_latency = episode.mean_latency;
+  r.p95_latency = episode.p95_latency;
+  r.mean_power_mw = episode.mean_power_mw;
+  r.mean_edp = episode.mean_edp;
+  r.flits_dropped = episode.flits_dropped;
+  r.retries = episode.retries;
+  r.packets_lost = episode.packets_lost;
+  r.rerouted_hops = episode.rerouted_hops;
+  for (std::size_t i = 0; i < episode.tenants.size(); ++i) {
+    const core::TenantEpisodeSummary& s = episode.tenants[i];
+    FleetTenantOutcome t;
+    t.name = scn.tenants[i].name;
+    t.qos = scenario::to_string(scn.tenants[i].qos);
+    t.slo_hit_rate = s.slo_hit_rate;
+    t.p95_latency = s.p95_latency;
+    t.accepted_rate = s.accepted_rate;
+    r.tenants.push_back(t);
+  }
+  return r;
+}
+
+FleetRunOutcome run_fleet(const ScenarioSpace& space, const FleetParams& params,
+                          const core::ExperimentRunner& runner) {
+  check_params(params);
+  space.validate();
+  std::error_code ec;
+  std::filesystem::create_directories(params.results_dir, ec);
+  if (ec) {
+    throw std::runtime_error("fleet: cannot create results dir " +
+                             params.results_dir + ": " + ec.message());
+  }
+
+  FleetRunOutcome outcome;
+  std::vector<std::size_t> todo;
+  for (std::size_t index = 0; index < space.size(); ++index) {
+    if (index % static_cast<std::size_t>(params.shards) !=
+        static_cast<std::size_t>(params.shard)) {
+      continue;
+    }
+    ++outcome.owned;
+    const std::string path =
+        result_path(params.results_dir, index, result_key(space, index, params));
+    if (std::filesystem::exists(path)) {
+      ++outcome.skipped;
+      continue;
+    }
+    todo.push_back(index);
+  }
+
+  // Each scenario is an independent simulation with its own seed and its own
+  // index-addressed result file, so results are bit-identical at any jobs
+  // count. Taps stay detached here (they are single-threaded); the worst-k
+  // heatmap reruns attach them serially afterwards.
+  runner.for_each(static_cast<int>(todo.size()), [&](int i) {
+    const std::size_t index = todo[static_cast<std::size_t>(i)];
+    const ExpandedScenario point = space.expand(index);
+    const FleetScenarioResult r = evaluate_scenario(point, params);
+    write_result_file(
+        result_path(params.results_dir, index, result_key(space, index, params)),
+        r);
+  });
+  outcome.ran = todo.size();
+  return outcome;
+}
+
+std::vector<FleetScenarioResult> load_results(const ScenarioSpace& space,
+                                              const FleetParams& params) {
+  check_params(params);
+  std::vector<FleetScenarioResult> out;
+  for (std::size_t index = 0; index < space.size(); ++index) {
+    const std::string path =
+        result_path(params.results_dir, index, result_key(space, index, params));
+    if (auto r = read_result_file(path)) out.push_back(std::move(*r));
+  }
+  return out;
+}
+
+}  // namespace drlnoc::fleet

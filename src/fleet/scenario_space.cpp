@@ -1,0 +1,247 @@
+#include "fleet/scenario_space.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "scenario/scenario_io.h"
+#include "util/config.h"
+
+namespace drlnoc::fleet {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("fleet spec: " + what);
+}
+
+std::string join_path(const std::string& base_dir, const std::string& path) {
+  if (base_dir.empty() || path.empty() || path.front() == '/') return path;
+  return base_dir + "/" + path;
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const auto b = item.find_first_not_of(" \t");
+    if (b == std::string::npos) fail("empty entry in values list '" + text +
+                                     "'");
+    const auto e = item.find_last_not_of(" \t");
+    out.push_back(item.substr(b, e - b + 1));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t ScenarioSpace::size() const {
+  std::size_t n = static_cast<std::size_t>(seeds);
+  for (const SpaceAxis& axis : axes) n *= axis.values.size();
+  return n;
+}
+
+void ScenarioSpace::validate() const {
+  if (seeds < 1) fail("seeds must be >= 1");
+  if (base_text.empty()) fail("no base scenario text");
+  std::set<std::string> keys;
+  for (std::size_t i = 0; i < axes.size(); ++i) {
+    const SpaceAxis& axis = axes[i];
+    const std::string who = "axis" + std::to_string(i) + ": ";
+    if (axis.key.empty()) fail(who + "key is required");
+    if (axis.values.empty()) fail(who + "no values");
+    if (!keys.insert(axis.key).second) {
+      fail(who + "duplicate axis key '" + axis.key + "'");
+    }
+  }
+  constexpr std::size_t kMaxPoints = 1000000;
+  if (size() > kMaxPoints) {
+    fail("space has " + std::to_string(size()) +
+         " points, over the sanity cap of " + std::to_string(kMaxPoints));
+  }
+}
+
+ExpandedScenario ScenarioSpace::point(std::size_t index) const {
+  if (index >= size()) {
+    throw std::out_of_range("fleet spec: index " + std::to_string(index) +
+                            " out of range (space has " +
+                            std::to_string(size()) + " points)");
+  }
+  ExpandedScenario out;
+  out.index = index;
+  // Mixed-radix decode: seed replica innermost, then axes in order.
+  std::size_t rem = index;
+  out.seed_offset = rem % static_cast<std::size_t>(seeds);
+  rem /= static_cast<std::size_t>(seeds);
+  std::ostringstream label;
+  label << name << "[" << index << "]";
+  for (const SpaceAxis& axis : axes) {
+    const std::size_t pick = rem % axis.values.size();
+    rem /= axis.values.size();
+    out.overrides[axis.key] = axis.values[pick];
+    label << " " << axis.key << "=" << axis.values[pick];
+  }
+  label << " seed+" << out.seed_offset;
+  out.label = label.str();
+  return out;
+}
+
+ExpandedScenario ScenarioSpace::expand(std::size_t index) const {
+  ExpandedScenario out = point(index);
+  try {
+    out.scenario = scenario::ScenarioReader::read_text(base_text, base_dir,
+                                                       out.overrides);
+  } catch (const std::exception& e) {
+    throw std::invalid_argument("fleet spec: " + out.label + ": " + e.what());
+  }
+  out.scenario.name = out.label;
+  out.scenario.net.seed += out.seed_offset;
+  return out;
+}
+
+ScenarioSpace ScenarioSpaceReader::read_text(const std::string& text,
+                                             const std::string& base_dir) {
+  // Same line-tracked scan as the `.drlsc` reader (minus sections), so parse
+  // errors cite "(line N)" next to the key name.
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  bool magic_seen = false;
+  util::Config cfg;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string stripped = line;
+    const auto hash = stripped.find('#');
+    if (hash != std::string::npos) stripped.erase(hash);
+    const auto b = stripped.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    const auto e = stripped.find_last_not_of(" \t\r");
+    stripped = stripped.substr(b, e - b + 1);
+    if (!magic_seen) {
+      std::istringstream ls(stripped);
+      std::string magic;
+      int version = 0;
+      if (!(ls >> magic >> version) || magic != "drlfs") {
+        throw std::runtime_error(
+            "fleet spec: missing magic line (expected 'drlfs 1')");
+      }
+      if (version != kFleetSpecFormatVersion) {
+        throw std::runtime_error("fleet spec: unsupported format version " +
+                                 std::to_string(version));
+      }
+      magic_seen = true;
+      continue;
+    }
+    const auto eq = stripped.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("fleet spec: bad config line " +
+                                  std::to_string(lineno) + ": " + stripped);
+    }
+    auto trim = [](std::string s) {
+      const auto sb = s.find_first_not_of(" \t");
+      if (sb == std::string::npos) return std::string();
+      const auto se = s.find_last_not_of(" \t");
+      return s.substr(sb, se - sb + 1);
+    };
+    const std::string key = trim(stripped.substr(0, eq));
+    cfg.set(key, trim(stripped.substr(eq + 1)));
+    cfg.set_line(key, lineno);
+  }
+  if (!magic_seen) {
+    throw std::runtime_error(
+        "fleet spec: missing magic line (expected 'drlfs 1')");
+  }
+
+  std::set<std::string> consumed;
+  auto str = [&](const std::string& key, const std::string& fallback) {
+    if (cfg.has(key)) consumed.insert(key);
+    return cfg.get(key, fallback);
+  };
+  auto num = [&](const std::string& key, int fallback) {
+    if (cfg.has(key)) consumed.insert(key);
+    return cfg.get(key, fallback);
+  };
+
+  ScenarioSpace space;
+  space.spec_text = text;
+  space.name = str("name", space.name);
+  space.base_file = str("base", "");
+  if (space.base_file.empty()) {
+    fail("base = <scenario.drlsc> is required");
+  }
+  space.seeds = num("seeds", space.seeds);
+  const int axes = num("axes", 0);
+  if (axes < 0) fail("axes must be >= 0");
+  for (int i = 0; i < axes; ++i) {
+    const std::string p = "axis" + std::to_string(i) + ".";
+    SpaceAxis axis;
+    axis.key = str(p + "key", "");
+    const bool has_csv = cfg.has(p + "values");
+    const bool has_count = cfg.has(p + "count");
+    if (has_csv && has_count) {
+      fail(p + "values and " + p + "count are mutually exclusive" +
+           cfg.location_suffix(p + "count"));
+    }
+    if (has_csv) {
+      axis.values = split_csv(str(p + "values", ""));
+    } else if (has_count) {
+      const int count = num(p + "count", 0);
+      if (count < 1) fail(p + "count must be >= 1");
+      for (int k = 0; k < count; ++k) {
+        const std::string vk = p + "value" + std::to_string(k);
+        if (!cfg.has(vk)) fail(vk + " is missing");
+        axis.values.push_back(str(vk, ""));
+      }
+    } else {
+      fail(p + "values (comma list) or " + p + "count + " + p +
+           "valueK is required");
+    }
+    space.axes.push_back(axis);
+  }
+
+  for (const std::string& key : cfg.keys()) {
+    if (!consumed.count(key)) {
+      throw std::invalid_argument("fleet spec: unknown key '" + key + "'" +
+                                  cfg.location_suffix(key));
+    }
+  }
+
+  const std::string base_path = join_path(base_dir, space.base_file);
+  std::ifstream base_in(base_path);
+  if (!base_in) fail("cannot open base scenario " + base_path);
+  std::stringstream ss;
+  ss << base_in.rdbuf();
+  space.base_text = ss.str();
+  // Traces/policies inside the base scenario resolve relative to the base
+  // scenario's own directory, exactly as a direct ScenarioReader::read_file
+  // of it would.
+  const auto base_slash = base_path.find_last_of('/');
+  space.base_dir = base_slash == std::string::npos
+                       ? ""
+                       : base_path.substr(0, base_slash);
+
+  space.validate();
+  // Smoke-expand one point so a spec whose overrides misspell a key (or
+  // whose base scenario is broken) fails at load time, not mid-fleet.
+  space.expand(0);
+  return space;
+}
+
+ScenarioSpace ScenarioSpaceReader::read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("fleet spec: cannot open " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto slash = path.find_last_of('/');
+  const std::string base_dir =
+      slash == std::string::npos ? "" : path.substr(0, slash);
+  try {
+    return read_text(ss.str(), base_dir);
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+}  // namespace drlnoc::fleet

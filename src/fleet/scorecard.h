@@ -1,0 +1,76 @@
+// Fleet scorecard: aggregates a fleet's per-scenario result files into one
+// JSON artifact — per-QoS-class SLO hit rates and p95 distributions, mean
+// power/energy with confidence intervals, degradation counters, and the
+// worst-k scenarios named so an engineer knows exactly which corner of the
+// space to look at. The scorecard is a pure function of the parsed result
+// files (doubles round-trip at precision 17, no timestamps, no git state),
+// so a resumed fleet produces a byte-identical scorecard to an
+// uninterrupted one.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.h"
+
+namespace drlnoc::fleet {
+
+inline constexpr int kScorecardSchema = 1;
+
+/// Aggregate over every tenant of one QoS class across the fleet.
+struct ClassScore {
+  std::size_t tenants = 0;        ///< tenant slices of this class
+  double slo_hit_rate = 1.0;      ///< mean of per-tenant SLO hit rates
+  double worst_slo_hit_rate = 1.0;
+  double p95_mean = 0.0;          ///< mean of per-tenant p95 latencies
+  double p95_p95 = 0.0;           ///< 95th percentile of those p95s
+};
+
+/// One named worst-case scenario.
+struct WorstEntry {
+  std::size_t index = 0;
+  std::string label;
+  double min_slo_hit_rate = 1.0;  ///< worst tenant SLO hit rate in it
+  double worst_p95 = 0.0;         ///< worst tenant p95 latency in it
+};
+
+struct Scorecard {
+  std::string spec_name;
+  std::size_t space_size = 0;
+  std::size_t scored = 0;   ///< result files found
+  std::size_t missing = 0;  ///< space_size - scored
+  core::MetricSummary reward;
+  core::MetricSummary latency;
+  core::MetricSummary p95;
+  core::MetricSummary power_mw;
+  core::MetricSummary edp;
+  std::map<std::string, ClassScore> classes;  ///< by QoS class name
+  std::uint64_t flits_dropped = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t packets_lost = 0;
+  std::uint64_t rerouted_hops = 0;
+  std::vector<WorstEntry> worst;  ///< worst first, at most worst_k entries
+};
+
+/// Linear-interpolated quantile of a sample (q in [0,1]); 0 on empty input.
+/// Exposed for tests.
+double quantile(std::vector<double> xs, double q);
+
+/// Aggregates `results` (any order; sorted internally by index) for a space
+/// of `space_size` points. Scenarios rank into `worst` by lowest tenant SLO
+/// hit rate, ties broken by highest worst-tenant p95 then by index, so the
+/// ranking is deterministic.
+Scorecard score_fleet(const std::vector<FleetScenarioResult>& results,
+                      std::size_t space_size, const std::string& spec_name,
+                      int worst_k = 4);
+
+/// Writes the scorecard JSON: schema, coverage, aggregate metric summaries,
+/// per-class SLO block, degradation counters, worst-k array. Doubles at
+/// precision 17; no timestamps or environment state, so equal scorecards
+/// serialise byte-identically.
+void write_scorecard_json(std::ostream& os, const Scorecard& card);
+
+}  // namespace drlnoc::fleet

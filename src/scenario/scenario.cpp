@@ -135,6 +135,14 @@ void validate_controller(const ControllerSchedule& c) {
 
 }  // namespace
 
+int Scenario::num_declared_tenants() const {
+  int n = 0;
+  for (const TenantSpec& t : tenants) {
+    if (!t.churned) ++n;
+  }
+  return n;
+}
+
 bool Scenario::has_qos() const {
   for (const TenantSpec& t : tenants) {
     if (t.qos != QosClass::kBestEffort) return true;
@@ -153,6 +161,7 @@ void Scenario::validate() const {
     validate_tenant(tenants[i], num_nodes, static_cast<int>(i));
   }
   validate_controller(controller);
+  churn.validate(static_cast<std::size_t>(num_declared_tenants()), duration);
   faults.validate();
   if (faults.enabled()) {
     // Topology-dependent checks, including the fail-fast rejection of

@@ -14,6 +14,7 @@
 
 #include "noc/network.h"
 #include "noc/workload.h"
+#include "scenario/churn.h"
 #include "trace/trace.h"
 
 namespace drlnoc::scenario {
@@ -94,6 +95,12 @@ struct TenantSpec {
   /// p95 latency SLO in core cycles; required (> 0) for latency-critical
   /// tenants and must stay 0 for every other class.
   double p95_target = 0.0;
+
+  /// True for tenants materialised by churn expansion (churn.h) rather than
+  /// declared by hand; the writer skips them (they are reproduced from the
+  /// [churn] block on load) and churn templates may only reference declared
+  /// tenants.
+  bool churned = false;
 };
 
 /// A complete multi-tenant experiment description.
@@ -112,8 +119,15 @@ struct Scenario {
   /// corruption rate, retry policy, and scheduled link-down/slowdown events.
   /// Disabled (all-zero) by default; see noc/faults.h.
   noc::FaultParams faults{};
+  /// Optional tenant churn model ([churn] block): a seeded arrival/departure
+  /// process expanded deterministically into extra tenants at load time.
+  /// Inert by default; see scenario/churn.h.
+  ChurnParams churn{};
 
   int num_tenants() const { return static_cast<int>(tenants.size()); }
+  /// Number of hand-declared (non-churned) tenants — the count the writer
+  /// serialises and churn templates index into.
+  int num_declared_tenants() const;
   /// True when any tenant departs from the default best-effort class; only
   /// then does the RL environment switch reward/features into QoS mode, so
   /// QoS-free scenarios stay bit-identical to pre-QoS behavior.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <set>
 #include <sstream>
@@ -150,6 +151,32 @@ noc::FaultParams parse_faults(const TrackedConfig& c) {
   return f;
 }
 
+ChurnParams parse_churn(const TrackedConfig& c) {
+  ChurnParams ch;
+  ch.seed = static_cast<std::uint64_t>(
+      c.get("churn.seed", static_cast<long long>(ch.seed)));
+  ch.arrival_rate = c.get("churn.arrival_rate", ch.arrival_rate);
+  ch.horizon = c.get("churn.horizon", ch.horizon);
+  ch.capacity = c.get("churn.capacity", ch.capacity);
+  ch.max_arrivals = c.get("churn.max_arrivals", ch.max_arrivals);
+  const int templates = c.get("churn.templates", 0);
+  if (templates < 0) {
+    throw std::invalid_argument("scenario: churn.templates must be >= 0");
+  }
+  for (int k = 0; k < templates; ++k) {
+    const std::string tp = "churn.template" + std::to_string(k) + ".";
+    ChurnTemplate t;
+    t.tenant = c.get(tp + "tenant", t.tenant);
+    t.weight = c.get(tp + "weight", t.weight);
+    t.lifetime = c.str(tp + "lifetime", t.lifetime);
+    t.lifetime_mean = c.get(tp + "lifetime_mean", t.lifetime_mean);
+    t.lifetime_min = c.get(tp + "lifetime_min", t.lifetime_min);
+    t.lifetime_max = c.get(tp + "lifetime_max", t.lifetime_max);
+    ch.templates.push_back(t);
+  }
+  return ch;
+}
+
 ControllerSchedule parse_controller(const TrackedConfig& c,
                                     const std::string& base_dir) {
   ControllerSchedule ctl;
@@ -188,21 +215,33 @@ ControllerSchedule parse_controller(const TrackedConfig& c,
 
 Scenario ScenarioReader::read_text(const std::string& text,
                                    const std::string& base_dir) {
-  // The magic line is not a key=value pair; find and strip it by hand.
+  return read_text(text, base_dir, {});
+}
+
+Scenario ScenarioReader::read_text(
+    const std::string& text, const std::string& base_dir,
+    const std::map<std::string, std::string>& overrides) {
+  // Scanned line by line (not via Config::from_text) so every key remembers
+  // its 1-based source line: typed-getter errors and the unknown-key check
+  // below can then cite "(line N)" alongside the key name.
   std::istringstream in(text);
   std::string line;
-  std::string rest;
+  int lineno = 0;
   bool magic_seen = false;
-  bool seen_controller = false;
-  bool seen_faults = false;
+  std::set<std::string> seen_sections;
   std::string section_prefix;
+  util::Config cfg;
   while (std::getline(in, line)) {
+    ++lineno;
+    std::string stripped = line;
+    const auto hash = stripped.find('#');
+    if (hash != std::string::npos) stripped.erase(hash);
+    const auto b = stripped.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;  // blank / comment-only line
+    const auto e = stripped.find_last_not_of(" \t\r");
+    stripped = stripped.substr(b, e - b + 1);
     if (!magic_seen) {
-      std::string stripped = line;
-      const auto hash = stripped.find('#');
-      if (hash != std::string::npos) stripped.erase(hash);
-      const auto b = stripped.find_first_not_of(" \t\r");
-      if (b == std::string::npos) continue;  // blank / comment before magic
+      // The magic line is not a key=value pair; check it by hand.
       std::istringstream ls(stripped);
       std::string magic;
       int version = 0;
@@ -217,50 +256,51 @@ Scenario ScenarioReader::read_text(const std::string& text,
       magic_seen = true;
       continue;
     }
-    // Section headers: `[controller]` / `[faults]` prefix every following
-    // key with `controller.` / `faults.` so the blocks read like INI
-    // sections. Duplicates and unknown sections are rejected like unknown
-    // keys.
-    std::string stripped = line;
-    const auto hash = stripped.find('#');
-    if (hash != std::string::npos) stripped.erase(hash);
-    const auto b = stripped.find_first_not_of(" \t\r");
-    const auto e = stripped.find_last_not_of(" \t\r");
-    if (b != std::string::npos && stripped[b] == '[') {
-      const std::string section = stripped.substr(b, e - b + 1);
-      if (section == "[controller]") {
-        if (seen_controller) {
-          throw std::invalid_argument(
-              "scenario: duplicate [controller] block");
-        }
-        seen_controller = true;
-        section_prefix = "controller.";
-      } else if (section == "[faults]") {
-        if (seen_faults) {
-          throw std::invalid_argument("scenario: duplicate [faults] block");
-        }
-        seen_faults = true;
-        section_prefix = "faults.";
-      } else {
-        throw std::invalid_argument("scenario: unknown section '" + section +
-                                    "'");
+    // Section headers: `[controller]` / `[faults]` / `[churn]` prefix every
+    // following key with `controller.` / `faults.` / `churn.` so the blocks
+    // read like INI sections. Duplicates and unknown sections are rejected
+    // like unknown keys.
+    if (stripped.front() == '[') {
+      if (stripped != "[controller]" && stripped != "[faults]" &&
+          stripped != "[churn]") {
+        throw std::invalid_argument("scenario: unknown section '" + stripped +
+                                    "' (line " + std::to_string(lineno) + ")");
       }
+      if (!seen_sections.insert(stripped).second) {
+        throw std::invalid_argument("scenario: duplicate " + stripped +
+                                    " block (line " + std::to_string(lineno) +
+                                    ")");
+      }
+      section_prefix = stripped.substr(1, stripped.size() - 2) + ".";
       continue;
     }
-    if (!section_prefix.empty() && b != std::string::npos) {
-      rest += section_prefix;
-      rest += stripped.substr(b, e - b + 1);
-    } else {
-      rest += line;
+    const auto eq = stripped.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("scenario: bad config line " +
+                                  std::to_string(lineno) + ": " + stripped);
     }
-    rest += '\n';
+    auto trim = [](std::string s) {
+      const auto sb = s.find_first_not_of(" \t");
+      if (sb == std::string::npos) return std::string();
+      const auto se = s.find_last_not_of(" \t");
+      return s.substr(sb, se - sb + 1);
+    };
+    const std::string key = section_prefix + trim(stripped.substr(0, eq));
+    cfg.set(key, trim(stripped.substr(eq + 1)));
+    cfg.set_line(key, lineno);
   }
   if (!magic_seen) {
     throw std::runtime_error(
         "scenario: missing magic line (expected 'drlsc 1')");
   }
+  // Overrides (fleet axis values) land after the file's keys, under the same
+  // flattened names the sections produce ("tenant0.rate", "churn.capacity");
+  // unknown override keys fail the unknown-key check below like typos do.
+  for (const auto& [key, value] : overrides) {
+    cfg.set(key, value);
+    cfg.set_line(key, 0);  // value came from the override, not the file line
+  }
 
-  const util::Config cfg = util::Config::from_text(rest);
   std::set<std::string> consumed;
   const TrackedConfig c{cfg, &consumed};
 
@@ -295,12 +335,17 @@ Scenario ScenarioReader::read_text(const std::string& text,
   }
   s.controller = parse_controller(c, base_dir);
   s.faults = parse_faults(c);
+  s.churn = parse_churn(c);
 
   for (const std::string& key : cfg.keys()) {
     if (!consumed.count(key)) {
-      throw std::invalid_argument("scenario: unknown key '" + key + "'");
+      throw std::invalid_argument("scenario: unknown key '" + key + "'" +
+                                  cfg.location_suffix(key));
     }
   }
+  // Materialise churn arrivals as concrete tenants before validation, so the
+  // returned scenario is fully expanded and validate() covers the instances.
+  expand_churn(s);
   s.validate();
   return s;
 }
@@ -339,10 +384,14 @@ void ScenarioWriter::write_text(std::ostream& os, const Scenario& s) {
   const std::streamsize old_precision = os.precision(17);
   os << "duration = " << s.duration << "\n";
   os << "cycle_limit = " << s.cycle_limit << "\n";
-  os << "tenants = " << s.tenants.size() << "\n";
-  for (std::size_t i = 0; i < s.tenants.size(); ++i) {
-    const TenantSpec& t = s.tenants[i];
-    const std::string p = "tenant" + std::to_string(i) + ".";
+  // Churned instances are reproduced from the [churn] block on load, so
+  // only hand-declared tenants serialise — the round trip re-expands them
+  // bit-identically (expansion is a pure function of the churn parameters).
+  os << "tenants = " << s.num_declared_tenants() << "\n";
+  std::size_t index = 0;
+  for (const TenantSpec& t : s.tenants) {
+    if (t.churned) continue;
+    const std::string p = "tenant" + std::to_string(index++) + ".";
     os << "\n" << p << "name = " << t.name << "\n";
     os << p << "workload = " << to_string(t.kind) << "\n";
     switch (t.kind) {
@@ -405,6 +454,30 @@ void ScenarioWriter::write_text(std::ostream& os, const Scenario& s) {
     }
     os << "epoch_cycles = " << s.controller.epoch_cycles << "\n";
     os << "epochs = " << s.controller.epochs << "\n";
+  }
+  // The [churn] block only appears when churn is enabled, so churn-free
+  // scenarios serialise exactly as before the churn extension.
+  if (s.churn.enabled()) {
+    os << "\n[churn]\n";
+    os << "seed = " << s.churn.seed << "\n";
+    os << "arrival_rate = " << s.churn.arrival_rate << "\n";
+    if (s.churn.horizon > 0.0) os << "horizon = " << s.churn.horizon << "\n";
+    if (s.churn.capacity > 0) os << "capacity = " << s.churn.capacity << "\n";
+    os << "max_arrivals = " << s.churn.max_arrivals << "\n";
+    os << "templates = " << s.churn.templates.size() << "\n";
+    for (std::size_t k = 0; k < s.churn.templates.size(); ++k) {
+      const ChurnTemplate& t = s.churn.templates[k];
+      const std::string tp = "template" + std::to_string(k) + ".";
+      os << tp << "tenant = " << t.tenant << "\n";
+      os << tp << "weight = " << t.weight << "\n";
+      os << tp << "lifetime = " << t.lifetime << "\n";
+      if (t.lifetime == "uniform") {
+        os << tp << "lifetime_min = " << t.lifetime_min << "\n";
+        os << tp << "lifetime_max = " << t.lifetime_max << "\n";
+      } else {
+        os << tp << "lifetime_mean = " << t.lifetime_mean << "\n";
+      }
+    }
   }
   // The [faults] block only appears when faults are configured, so
   // fault-free scenarios serialise exactly as before the fault extension.

@@ -34,12 +34,25 @@
 //   epoch_cycles = 512       # router cycles between controller decisions
 //   epochs = 48              # decision epochs per scheduled run
 //
+//   [churn]                  # optional: seeded tenant arrival/departure
+//   seed = 11                # dedicated churn stream (splitmix64)
+//   arrival_rate = 0.0002    # Poisson arrivals per core cycle
+//   capacity = 3             # FIFO admission cap; 0 = unlimited
+//   templates = 1
+//   template0.tenant = 1     # arrivals clone this declared tenant
+//   template0.lifetime = exponential   # exponential | fixed | uniform
+//   template0.lifetime_mean = 8000
+//
 // Unknown keys and duplicate/unknown `[...]` sections are rejected (typo
-// safety); referenced traces and policies are loaded eagerly so a parsed
-// Scenario is self-contained.
+// safety), with parse errors citing the offending line number; referenced
+// traces and policies are loaded eagerly so a parsed Scenario is
+// self-contained. A `[churn]` block is expanded into concrete windowed
+// tenants at load time (see scenario/churn.h); the writer emits only the
+// declared tenants plus the block, and re-reading re-expands identically.
 #pragma once
 
 #include <iosfwd>
+#include <map>
 #include <string>
 
 #include "scenario/scenario.h"
@@ -57,6 +70,13 @@ class ScenarioReader {
   /// the returned scenario is validated.
   static Scenario read_text(const std::string& text,
                             const std::string& base_dir = "");
+  /// Like read_text, but applies `overrides` (flattened key -> value, e.g.
+  /// "tenant0.rate" or "churn.capacity") on top of the file's keys before
+  /// parsing — the mechanism `.drlfs` scenario spaces use to sweep axes.
+  /// Override keys that nothing consumes are rejected like typos.
+  static Scenario read_text(const std::string& text,
+                            const std::string& base_dir,
+                            const std::map<std::string, std::string>& overrides);
   /// Reads and parses `path`; trace paths resolve relative to its directory.
   static Scenario read_file(const std::string& path);
 };

@@ -69,6 +69,20 @@ void Config::set(const std::string& key, const std::string& value) {
   values_[key] = value;
 }
 
+void Config::set_line(const std::string& key, int line) {
+  lines_[key] = line;
+}
+
+int Config::line_of(const std::string& key) const {
+  auto it = lines_.find(key);
+  return it == lines_.end() ? 0 : it->second;
+}
+
+std::string Config::location_suffix(const std::string& key) const {
+  const int line = line_of(key);
+  return line > 0 ? " (line " + std::to_string(line) + ")" : std::string();
+}
+
 bool Config::has(const std::string& key) const {
   return values_.count(key) != 0;
 }
@@ -98,14 +112,17 @@ long long Config::get(const std::string& key, long long fallback) const {
   long long value = 0;
   const auto [ptr, ec] = std::from_chars(first, last, value);
   if (ec == std::errc::result_out_of_range) {
-    throw std::invalid_argument("bad integer for " + key + ": " + s +
+    throw std::invalid_argument("bad integer for " + key +
+                                location_suffix(key) + ": " + s +
                                 " (out of range)");
   }
   if (ec != std::errc() || first == last) {
-    throw std::invalid_argument("bad integer for " + key + ": " + s);
+    throw std::invalid_argument("bad integer for " + key +
+                                location_suffix(key) + ": " + s);
   }
   if (ptr != last) {
-    throw std::invalid_argument("bad integer for " + key + ": " + s +
+    throw std::invalid_argument("bad integer for " + key +
+                                location_suffix(key) + ": " + s +
                                 " (trailing characters)");
   }
   return value;
@@ -115,8 +132,9 @@ int Config::get(const std::string& key, int fallback) const {
   const long long wide = get(key, static_cast<long long>(fallback));
   if (wide < std::numeric_limits<int>::min() ||
       wide > std::numeric_limits<int>::max()) {
-    throw std::invalid_argument("bad integer for " + key + ": " +
-                                *raw(key) + " (out of range)");
+    throw std::invalid_argument("bad integer for " + key +
+                                location_suffix(key) + ": " + *raw(key) +
+                                " (out of range)");
   }
   return static_cast<int>(wide);
 }
@@ -133,18 +151,22 @@ double Config::get(const std::string& key, double fallback) const {
   double value = 0.0;
   const auto [ptr, ec] = std::from_chars(first, last, value);
   if (ec == std::errc::result_out_of_range) {
-    throw std::invalid_argument("bad number for " + key + ": " + s +
+    throw std::invalid_argument("bad number for " + key +
+                                location_suffix(key) + ": " + s +
                                 " (out of range)");
   }
   if (ec != std::errc() || first == last) {
-    throw std::invalid_argument("bad number for " + key + ": " + s);
+    throw std::invalid_argument("bad number for " + key +
+                                location_suffix(key) + ": " + s);
   }
   if (ptr != last) {
-    throw std::invalid_argument("bad number for " + key + ": " + s +
+    throw std::invalid_argument("bad number for " + key +
+                                location_suffix(key) + ": " + s +
                                 " (trailing characters)");
   }
   if (std::isnan(value)) {
-    throw std::invalid_argument("bad number for " + key + ": " + s +
+    throw std::invalid_argument("bad number for " + key +
+                                location_suffix(key) + ": " + s +
                                 " (NaN is never a valid knob value)");
   }
   return value;
@@ -158,7 +180,8 @@ bool Config::get(const std::string& key, bool fallback) const {
                  [](unsigned char c) { return std::tolower(c); });
   if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
   if (s == "0" || s == "false" || s == "no" || s == "off") return false;
-  throw std::invalid_argument("bad boolean for " + key + ": " + *v);
+  throw std::invalid_argument("bad boolean for " + key +
+                              location_suffix(key) + ": " + *v);
 }
 
 std::vector<std::string> Config::keys() const {

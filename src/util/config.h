@@ -22,6 +22,16 @@ class Config {
 
   void set(const std::string& key, const std::string& value);
 
+  /// Records the 1-based source line `key` came from. File-format loaders
+  /// (the `.drlsc`/`.drlfs` readers) call this while scanning their input so
+  /// the typed getters below can cite the offending line alongside the key
+  /// name; configs built from argv carry no lines and report as before.
+  void set_line(const std::string& key, int line);
+  /// The recorded source line of `key`, or 0 when unknown.
+  int line_of(const std::string& key) const;
+  /// " (line N)" when a source line is recorded for `key`, else "".
+  std::string location_suffix(const std::string& key) const;
+
   bool has(const std::string& key) const;
   std::optional<std::string> raw(const std::string& key) const;
 
@@ -36,6 +46,7 @@ class Config {
 
  private:
   std::map<std::string, std::string> values_;
+  std::map<std::string, int> lines_;
 };
 
 }  // namespace drlnoc::util

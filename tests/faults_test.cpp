@@ -506,7 +506,7 @@ TEST(ScenarioFaults, ParserRejectionMessages) {
                   base + "[faults]\nlink_fault_rate = 0.1\n"
                          "[faults]\nlink_fault_rate = 0.2\n");
             }),
-            "scenario: duplicate [faults] block");
+            "scenario: duplicate [faults] block (line 11)");
 
   // Unknown keys inside [faults] are rejected, not ignored.
   EXPECT_NE(rejection([&] {

@@ -1,0 +1,619 @@
+// Fleet subsystem tests: churn expansion (determinism, FIFO admission under
+// a capacity cap, RNG stream stability, validation, `.drlsc` round-trips,
+// and the no-churn goldens staying untouched), `.drlfs` scenario spaces
+// (mixed-radix index mapping, spec rejection with line numbers), result-file
+// round-trips, and the headline resumability contract: a fleet run that is
+// killed mid-way and resumed — at any --jobs count — produces a scorecard
+// byte-identical to an uninterrupted run. Also covers the
+// core::summarize_metric edge cases (n = 0/1, zero variance, NaN rejection)
+// that the scorecard aggregation leans on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/parallel.h"
+#include "fleet/fleet.h"
+#include "fleet/scenario_space.h"
+#include "fleet/scorecard.h"
+#include "scenario/churn.h"
+#include "scenario/scenario.h"
+#include "scenario/scenario_io.h"
+
+namespace drlnoc {
+namespace {
+
+/// Runs `fn`, expecting std::exception; returns its message ("" if none).
+template <typename Fn>
+std::string rejection(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+scenario::ChurnParams basic_churn() {
+  scenario::ChurnParams churn;
+  churn.seed = 42;
+  churn.arrival_rate = 0.002;
+  churn.horizon = 10000.0;
+  churn.max_arrivals = 64;
+  scenario::ChurnTemplate t;
+  t.tenant = 0;
+  t.lifetime = "exponential";
+  t.lifetime_mean = 1500.0;
+  churn.templates.push_back(t);
+  return churn;
+}
+
+// ------------------------------------------------------------ churn model ---
+
+TEST(Churn, ExpansionIsDeterministic) {
+  const scenario::ChurnParams churn = basic_churn();
+  const auto a = scenario::expand_churn_windows(churn, 10000.0);
+  const auto b = scenario::expand_churn_windows(churn, 10000.0);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].template_index, b[i].template_index);
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].start, b[i].start);
+    EXPECT_EQ(a[i].stop, b[i].stop);
+  }
+
+  scenario::ChurnParams other = churn;
+  other.seed = 43;
+  const auto c = scenario::expand_churn_windows(other, 10000.0);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = c[i].arrival != a[i].arrival;
+  }
+  EXPECT_TRUE(differs) << "different churn seeds produced identical arrivals";
+}
+
+TEST(Churn, CapacityQueuesFifo) {
+  scenario::ChurnParams churn = basic_churn();
+  churn.capacity = 1;
+  // Fixed short lifetimes: the admission chain stays inside the horizon, so
+  // several instances are admitted instead of one long-lived blocker.
+  churn.templates[0].lifetime = "fixed";
+  churn.templates[0].lifetime_mean = 400.0;
+  const auto windows = scenario::expand_churn_windows(churn, 10000.0);
+  ASSERT_GE(windows.size(), 2u);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_GE(windows[i].start, windows[i].arrival);
+    EXPECT_GT(windows[i].stop, windows[i].start);
+    // Capacity 1: the next instance starts no earlier than this one stops.
+    if (i + 1 < windows.size()) {
+      EXPECT_GE(windows[i + 1].start, windows[i].stop);
+    }
+  }
+
+  // Without a cap every arrival is admitted immediately.
+  churn.capacity = 0;
+  for (const auto& w : scenario::expand_churn_windows(churn, 10000.0)) {
+    EXPECT_EQ(w.start, w.arrival);
+  }
+}
+
+TEST(Churn, CapacityDoesNotShiftRngDraws) {
+  // Template + lifetime are drawn at arrival-generation time, so changing
+  // the capacity cap must not perturb any arrival time or drawn lifetime —
+  // only admission (start) times move.
+  scenario::ChurnParams open = basic_churn();
+  open.capacity = 0;
+  scenario::ChurnParams capped = basic_churn();
+  capped.capacity = 1;
+  const auto a = scenario::expand_churn_windows(open, 10000.0);
+  const auto b = scenario::expand_churn_windows(capped, 10000.0);
+  // Queueing can drop instances anywhere in the sequence (queued past the
+  // horizon), so match surviving capped instances to the uncapped run by
+  // their (bit-exact) arrival time.
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  EXPECT_LE(b.size(), a.size());
+  std::size_t matched = 0;
+  for (const scenario::ChurnInstance& inst : b) {
+    bool found = false;
+    for (const scenario::ChurnInstance& ref : a) {
+      if (ref.arrival == inst.arrival) {
+        EXPECT_EQ(ref.template_index, inst.template_index);
+        found = true;
+        ++matched;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "capped arrival " << inst.arrival
+                       << " not in the uncapped stream";
+  }
+  EXPECT_EQ(matched, b.size());
+}
+
+TEST(Churn, ValidationRejectsBadParams) {
+  const double duration = 10000.0;
+  {
+    scenario::ChurnParams c = basic_churn();
+    c.templates.clear();
+    EXPECT_NE(rejection([&] { c.validate(1, duration); })
+                  .find("at least one template"),
+              std::string::npos);
+  }
+  {
+    scenario::ChurnParams c = basic_churn();
+    c.templates[0].tenant = 5;
+    EXPECT_NE(rejection([&] { c.validate(1, duration); }).find("out of range"),
+              std::string::npos);
+  }
+  {
+    scenario::ChurnParams c = basic_churn();
+    c.templates[0].lifetime = "weibull";
+    EXPECT_NE(rejection([&] { c.validate(1, duration); })
+                  .find("exponential|fixed|uniform"),
+              std::string::npos);
+  }
+  {
+    scenario::ChurnParams c = basic_churn();
+    c.templates[0].lifetime = "uniform";
+    c.templates[0].lifetime_min = 10.0;
+    c.templates[0].lifetime_max = 5.0;
+    EXPECT_NE(rejection([&] { c.validate(1, duration); })
+                  .find("lifetime_min <= lifetime_max"),
+              std::string::npos);
+  }
+  {
+    // arrival_rate > 0 but no finite window anywhere.
+    scenario::ChurnParams c = basic_churn();
+    c.horizon = 0.0;
+    EXPECT_NE(rejection([&] { c.validate(1, 0.0); })
+                  .find("finite arrival window"),
+              std::string::npos);
+  }
+}
+
+constexpr const char* kChurnScenarioText =
+    "drlsc 1\n"
+    "name = churny\n"
+    "width = 4\n"
+    "height = 4\n"
+    "seed = 9\n"
+    "duration = 8000\n"
+    "tenants = 1\n"
+    "tenant0.name = base\n"
+    "tenant0.workload = steady\n"
+    "tenant0.rate = 0.02\n"
+    "\n"
+    "[churn]\n"
+    "seed = 7\n"
+    "arrival_rate = 0.001\n"
+    "capacity = 2\n"
+    "max_arrivals = 16\n"
+    "templates = 1\n"
+    "template0.tenant = 0\n"
+    "template0.lifetime = fixed\n"
+    "template0.lifetime_mean = 2000\n";
+
+TEST(Churn, ScenarioRoundTripReExpandsIdentically) {
+  const scenario::Scenario s =
+      scenario::ScenarioReader::read_text(kChurnScenarioText);
+  ASSERT_TRUE(s.churn.enabled());
+  EXPECT_EQ(s.num_declared_tenants(), 1);
+  ASSERT_GT(s.tenants.size(), 1u) << "churn expanded no tenants";
+  for (std::size_t i = 1; i < s.tenants.size(); ++i) {
+    EXPECT_TRUE(s.tenants[i].churned);
+    // Clone names use '@' (a '#' would start a comment in result files).
+    EXPECT_NE(s.tenants[i].name.find('@'), std::string::npos);
+  }
+
+  // The writer emits the declared tenant + the [churn] block, never the
+  // expanded clones; re-reading re-expands them bit-identically.
+  std::ostringstream os;
+  scenario::ScenarioWriter::write_text(os, s);
+  const std::string written = os.str();
+  EXPECT_NE(written.find("[churn]"), std::string::npos);
+  EXPECT_NE(written.find("tenants = 1"), std::string::npos);
+  EXPECT_EQ(written.find("@"), std::string::npos)
+      << "writer leaked an expanded churn clone";
+
+  const scenario::Scenario back = scenario::ScenarioReader::read_text(written);
+  ASSERT_EQ(back.tenants.size(), s.tenants.size());
+  for (std::size_t i = 0; i < s.tenants.size(); ++i) {
+    EXPECT_EQ(back.tenants[i].name, s.tenants[i].name);
+    EXPECT_EQ(back.tenants[i].start, s.tenants[i].start);
+    EXPECT_EQ(back.tenants[i].stop, s.tenants[i].stop);
+  }
+  std::ostringstream os2;
+  scenario::ScenarioWriter::write_text(os2, back);
+  EXPECT_EQ(os2.str(), written);
+}
+
+TEST(Churn, ExpandIsIdempotent) {
+  scenario::Scenario s = scenario::ScenarioReader::read_text(kChurnScenarioText);
+  const std::size_t expanded = s.tenants.size();
+  scenario::expand_churn(s);
+  scenario::expand_churn(s);
+  EXPECT_EQ(s.tenants.size(), expanded);
+}
+
+TEST(Churn, NoChurnScenariosUntouched) {
+  // Without a [churn] block nothing expands, the params stay inert, and the
+  // writer emits no churn section — so pre-churn scenario files and their
+  // golden determinism hashes are unaffected by this subsystem.
+  const std::string text =
+      "drlsc 1\nwidth = 4\nheight = 4\nduration = 1000\n"
+      "tenants = 1\ntenant0.workload = steady\ntenant0.rate = 0.05\n";
+  const scenario::Scenario s = scenario::ScenarioReader::read_text(text);
+  EXPECT_FALSE(s.churn.enabled());
+  EXPECT_EQ(s.tenants.size(), 1u);
+  EXPECT_EQ(s.num_declared_tenants(), 1);
+  std::ostringstream os;
+  scenario::ScenarioWriter::write_text(os, s);
+  EXPECT_EQ(os.str().find("churn"), std::string::npos);
+}
+
+// ------------------------------------------- parse errors cite line numbers ---
+
+TEST(ScenarioParse, ErrorsReportLineNumbers) {
+  // Malformed value: the strict-parse error names the key AND the line.
+  const std::string bad_value =
+      "drlsc 1\nwidth = 4x\nheight = 4\nduration = 1000\n"
+      "tenants = 1\ntenant0.workload = steady\ntenant0.rate = 0.05\n";
+  const std::string msg1 =
+      rejection([&] { scenario::ScenarioReader::read_text(bad_value); });
+  EXPECT_NE(msg1.find("width"), std::string::npos) << msg1;
+  EXPECT_NE(msg1.find("(line 2)"), std::string::npos) << msg1;
+
+  // Unknown key: rejected with its line.
+  const std::string unknown =
+      "drlsc 1\nwidth = 4\nheight = 4\nduration = 1000\n"
+      "tenants = 1\ntenant0.workload = steady\ntenant0.rate = 0.05\n"
+      "frobnicate = 1\n";
+  const std::string msg2 =
+      rejection([&] { scenario::ScenarioReader::read_text(unknown); });
+  EXPECT_NE(msg2.find("frobnicate"), std::string::npos) << msg2;
+  EXPECT_NE(msg2.find("(line 8)"), std::string::npos) << msg2;
+
+  // Churn-section keys carry line numbers too.
+  const std::string bad_churn = std::string(kChurnScenarioText) +
+                                "template0.weight = oops\n";
+  const std::string msg3 =
+      rejection([&] { scenario::ScenarioReader::read_text(bad_churn); });
+  EXPECT_NE(msg3.find("line 21"), std::string::npos) << msg3;
+
+  // Override values come from the caller, not the file: no stale line cited.
+  const std::string msg4 = rejection([&] {
+    scenario::ScenarioReader::read_text(
+        "drlsc 1\nwidth = 4\nheight = 4\nduration = 1000\n"
+        "tenants = 1\ntenant0.workload = steady\ntenant0.rate = 0.05\n",
+        "", {{"width", "4x"}});
+  });
+  EXPECT_NE(msg4.find("width"), std::string::npos) << msg4;
+  EXPECT_EQ(msg4.find("(line"), std::string::npos) << msg4;
+}
+
+// --------------------------------------------------------- scenario spaces ---
+
+/// Writes a tiny base scenario + spec under dir; returns the spec path.
+std::string write_space_files(const std::string& dir,
+                              const std::string& spec_body) {
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream base(dir + "/base.drlsc");
+    base << "drlsc 1\nname = sp\nwidth = 4\nheight = 4\nseed = 5\n"
+            "duration = 4000\ntenants = 1\ntenant0.workload = steady\n"
+            "tenant0.rate = 0.02\ntenant0.qos = latency_critical\n"
+            "tenant0.p95_target = 400\n";
+  }
+  const std::string spec_path = dir + "/space.drlfs";
+  std::ofstream spec(spec_path);
+  spec << spec_body;
+  return spec_path;
+}
+
+TEST(ScenarioSpace, MixedRadixIndexMapping) {
+  const std::string dir = ::testing::TempDir() + "fleet_space_map";
+  const std::string spec = write_space_files(
+      dir,
+      "drlfs 1\nname = grid\nbase = base.drlsc\nseeds = 2\naxes = 2\n"
+      "axis0.key = tenant0.rate\naxis0.values = 0.01,0.03,0.05\n"
+      "axis1.key = width\naxis1.count = 2\naxis1.value0 = 4\n"
+      "axis1.value1 = 5\n");
+  const fleet::ScenarioSpace space = fleet::ScenarioSpaceReader::read_file(spec);
+  EXPECT_EQ(space.size(), 2u * 3u * 2u);
+
+  // Seed replica is innermost, then axes in declaration order.
+  const fleet::ExpandedScenario p0 = space.point(0);
+  EXPECT_EQ(p0.seed_offset, 0u);
+  EXPECT_EQ(p0.overrides.at("tenant0.rate"), "0.01");
+  EXPECT_EQ(p0.overrides.at("width"), "4");
+  const fleet::ExpandedScenario p1 = space.point(1);
+  EXPECT_EQ(p1.seed_offset, 1u);
+  EXPECT_EQ(p1.overrides.at("tenant0.rate"), "0.01");
+  const fleet::ExpandedScenario p2 = space.point(2);
+  EXPECT_EQ(p2.seed_offset, 0u);
+  EXPECT_EQ(p2.overrides.at("tenant0.rate"), "0.03");
+  const fleet::ExpandedScenario last = space.point(space.size() - 1);
+  EXPECT_EQ(last.seed_offset, 1u);
+  EXPECT_EQ(last.overrides.at("tenant0.rate"), "0.05");
+  EXPECT_EQ(last.overrides.at("width"), "5");
+
+  // expand() applies the overrides and offsets net.seed by the replica.
+  const fleet::ExpandedScenario e1 = space.expand(1);
+  EXPECT_EQ(e1.scenario.net.seed, 5u + 1u);
+  EXPECT_EQ(e1.scenario.name, e1.label);
+  EXPECT_NE(e1.label.find("grid[1]"), std::string::npos) << e1.label;
+  EXPECT_NE(e1.label.find("seed+1"), std::string::npos) << e1.label;
+
+  EXPECT_NE(rejection([&] { space.expand(space.size()); }).find("out of"),
+            std::string::npos);
+}
+
+TEST(ScenarioSpace, SpecRejectionMessages) {
+  const std::string dir = ::testing::TempDir() + "fleet_space_err";
+  // values= and count= on the same axis are mutually exclusive.
+  EXPECT_NE(
+      rejection([&] {
+        fleet::ScenarioSpaceReader::read_file(write_space_files(
+            dir + "/a",
+            "drlfs 1\nname = x\nbase = base.drlsc\naxes = 1\n"
+            "axis0.key = width\naxis0.values = 4,5\naxis0.count = 2\n"
+            "axis0.value0 = 4\naxis0.value1 = 5\n"));
+      }).find("mutually exclusive"),
+      std::string::npos);
+
+  // Unknown keys are rejected with their line number.
+  const std::string msg = rejection([&] {
+    fleet::ScenarioSpaceReader::read_file(write_space_files(
+        dir + "/b",
+        "drlfs 1\nname = x\nbase = base.drlsc\nseeeds = 2\n"));
+  });
+  EXPECT_NE(msg.find("seeeds"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+
+  EXPECT_NE(
+      rejection([&] {
+        fleet::ScenarioSpaceReader::read_file(write_space_files(
+            dir + "/c", "drlfs 1\nname = x\nbase = base.drlsc\nseeds = 0\n"));
+      }).find("seeds must be >= 1"),
+      std::string::npos);
+
+  EXPECT_NE(
+      rejection([&] {
+        fleet::ScenarioSpaceReader::read_file(write_space_files(
+            dir + "/d",
+            "drlfs 1\nname = x\nbase = base.drlsc\naxes = 2\n"
+            "axis0.key = width\naxis0.values = 4,5\n"
+            "axis1.key = width\naxis1.values = 6,7\n"));
+      }).find("duplicate axis key"),
+      std::string::npos);
+
+  EXPECT_NE(rejection([&] {
+              fleet::ScenarioSpaceReader::read_text("drlfs 1\nname = x\n");
+            }).find("base"),
+            std::string::npos);
+}
+
+// ------------------------------------------------- summarize_metric edges ---
+
+TEST(SummarizeMetric, EdgeCases) {
+  const core::MetricSummary empty = core::summarize_metric({});
+  EXPECT_EQ(empty.mean, 0.0);
+  EXPECT_EQ(empty.stddev, 0.0);
+  EXPECT_EQ(empty.ci95, 0.0);
+
+  // n = 1: the value itself, with exactly zero spread.
+  const core::MetricSummary one = core::summarize_metric({3.25});
+  EXPECT_EQ(one.mean, 3.25);
+  EXPECT_EQ(one.stddev, 0.0);
+  EXPECT_EQ(one.ci95, 0.0);
+
+  // Zero variance: stddev and ci95 are exactly zero, not a rounding residue.
+  const core::MetricSummary flat = core::summarize_metric({7.5, 7.5, 7.5, 7.5});
+  EXPECT_EQ(flat.mean, 7.5);
+  EXPECT_EQ(flat.stddev, 0.0);
+  EXPECT_EQ(flat.ci95, 0.0);
+
+  // NaN is an upstream bug, not a sample.
+  EXPECT_THROW(
+      core::summarize_metric({1.0, std::numeric_limits<double>::quiet_NaN()}),
+      std::invalid_argument);
+}
+
+// --------------------------------------------------------------- fleet runs ---
+
+fleet::ScenarioSpace tiny_space(const std::string& dir) {
+  const std::string spec = write_space_files(
+      dir,
+      "drlfs 1\nname = tiny\nbase = base.drlsc\nseeds = 2\naxes = 1\n"
+      "axis0.key = tenant0.rate\naxis0.values = 0.02,0.05\n");
+  return fleet::ScenarioSpaceReader::read_file(spec);
+}
+
+fleet::FleetParams tiny_params(const std::string& results_dir) {
+  fleet::FleetParams p;
+  p.controller = "heuristic";
+  p.epoch_cycles = 128;
+  p.epochs = 2;
+  p.results_dir = results_dir;
+  return p;
+}
+
+TEST(FleetResult, FileRoundTripIsExact) {
+  const std::string dir = ::testing::TempDir() + "fleet_result_rt";
+  std::filesystem::create_directories(dir);
+  fleet::FleetScenarioResult r;
+  r.index = 3;
+  r.label = "tiny[3] tenant0.rate=0.05 seed+1";
+  r.seed = 6;
+  r.reward = 0.1;  // not exactly representable — precision 17 must hold it
+  r.mean_latency = 123.456789012345678;
+  r.p95_latency = 400.25;
+  r.mean_power_mw = 1e-17;
+  r.mean_edp = 3.0;
+  r.flits_dropped = 7;
+  r.retries = 2;
+  fleet::FleetTenantOutcome t;
+  t.name = "base@0";
+  t.qos = "latency_critical";
+  t.slo_hit_rate = 2.0 / 3.0;
+  t.p95_latency = 333.5;
+  t.accepted_rate = 0.9999999999999999;
+  r.tenants.push_back(t);
+
+  const std::string path = dir + "/r" + fleet::kFleetResultExtension;
+  fleet::write_result_file(path, r);
+  const auto back = fleet::read_result_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->index, r.index);
+  EXPECT_EQ(back->label, r.label);
+  EXPECT_EQ(back->seed, r.seed);
+  EXPECT_EQ(back->reward, r.reward);
+  EXPECT_EQ(back->mean_latency, r.mean_latency);
+  EXPECT_EQ(back->mean_power_mw, r.mean_power_mw);
+  EXPECT_EQ(back->flits_dropped, r.flits_dropped);
+  ASSERT_EQ(back->tenants.size(), 1u);
+  EXPECT_EQ(back->tenants[0].name, t.name);
+  EXPECT_EQ(back->tenants[0].slo_hit_rate, t.slo_hit_rate);
+  EXPECT_EQ(back->tenants[0].accepted_rate, t.accepted_rate);
+
+  EXPECT_FALSE(fleet::read_result_file(dir + "/missing.drlfr").has_value());
+}
+
+TEST(FleetResult, KeyCoversEverythingThatChangesTheOutcome) {
+  const std::string dir = ::testing::TempDir() + "fleet_keys";
+  const fleet::ScenarioSpace space = tiny_space(dir);
+  const fleet::FleetParams base = tiny_params(dir + "/results");
+  const std::string k = fleet::result_key(space, 0, base);
+
+  EXPECT_NE(fleet::result_key(space, 1, base), k);
+  fleet::FleetParams other = base;
+  other.controller = "static-max";
+  EXPECT_NE(fleet::result_key(space, 0, other), k);
+  other = base;
+  other.epochs = 3;
+  EXPECT_NE(fleet::result_key(space, 0, other), k);
+  other = base;
+  other.qos_features = true;
+  EXPECT_NE(fleet::result_key(space, 0, other), k);
+  // Same inputs -> same key (stable across processes: pure content hash).
+  EXPECT_EQ(fleet::result_key(space, 0, base), k);
+}
+
+std::string score_bytes(const fleet::ScenarioSpace& space,
+                        const fleet::FleetParams& params) {
+  const fleet::Scorecard card = fleet::score_fleet(
+      fleet::load_results(space, params), space.size(), space.name, 2);
+  std::ostringstream os;
+  fleet::write_scorecard_json(os, card);
+  return os.str();
+}
+
+TEST(FleetRun, ResumedScorecardByteIdenticalAtAnyJobs) {
+  // TempDir persists across runs; stale result files would turn every run
+  // into a resume and break the ran/skipped accounting below.
+  const std::string dir = ::testing::TempDir() + "fleet_resume";
+  std::filesystem::remove_all(dir);
+  const fleet::ScenarioSpace space = tiny_space(dir);
+  core::ExperimentRunner jobs1(1), jobs2(2), jobs8(8);
+
+  // Reference: one uninterrupted run at jobs = 1.
+  fleet::FleetParams ref = tiny_params(dir + "/ref");
+  const fleet::FleetRunOutcome full = fleet::run_fleet(space, ref, jobs1);
+  EXPECT_EQ(full.ran, space.size());
+  EXPECT_EQ(full.skipped, 0u);
+  const std::string want = score_bytes(space, ref);
+  EXPECT_NE(want.find("\"missing\": 0"), std::string::npos);
+
+  // Interrupted runs: complete the fleet, delete half the result files (the
+  // "killed mid-run" state), resume at several jobs counts. Each resumed
+  // scorecard must be byte-identical to the uninterrupted one.
+  int trial = 0;
+  for (core::ExperimentRunner* resume_runner : {&jobs1, &jobs2, &jobs8}) {
+    fleet::FleetParams p =
+        tiny_params(dir + "/resume" + std::to_string(trial++));
+    fleet::run_fleet(space, p, jobs2);
+    std::size_t deleted = 0;
+    for (std::size_t index = 0; index < space.size(); index += 2) {
+      const std::string path = fleet::result_path(
+          p.results_dir, index, fleet::result_key(space, index, p));
+      ASSERT_TRUE(std::filesystem::remove(path)) << path;
+      ++deleted;
+    }
+    ASSERT_EQ(deleted, space.size() / 2);
+
+    const fleet::FleetRunOutcome resumed =
+        fleet::run_fleet(space, p, *resume_runner);
+    EXPECT_EQ(resumed.ran, deleted);
+    EXPECT_EQ(resumed.skipped, space.size() - deleted);
+    EXPECT_EQ(score_bytes(space, p), want)
+        << "resumed scorecard diverged (trial " << trial << ")";
+  }
+}
+
+TEST(FleetRun, ShardsPartitionTheSpace) {
+  const std::string dir = ::testing::TempDir() + "fleet_shards";
+  std::filesystem::remove_all(dir);  // rerun-safe: drop stale result files
+  const fleet::ScenarioSpace space = tiny_space(dir);
+  core::ExperimentRunner jobs1(1);
+
+  fleet::FleetParams ref = tiny_params(dir + "/ref");
+  fleet::run_fleet(space, ref, jobs1);
+  const std::string want = score_bytes(space, ref);
+
+  // Two shards into one shared results dir cover the space exactly once.
+  fleet::FleetParams sharded = tiny_params(dir + "/sharded");
+  sharded.shards = 2;
+  sharded.shard = 0;
+  const fleet::FleetRunOutcome s0 = fleet::run_fleet(space, sharded, jobs1);
+  sharded.shard = 1;
+  const fleet::FleetRunOutcome s1 = fleet::run_fleet(space, sharded, jobs1);
+  EXPECT_EQ(s0.owned + s1.owned, space.size());
+  EXPECT_EQ(s0.ran + s1.ran, space.size());
+  EXPECT_EQ(score_bytes(space, sharded), want);
+
+  // Scoring a half-finished fleet reports the gap instead of hiding it.
+  fleet::FleetParams partial = tiny_params(dir + "/partial");
+  partial.shards = 2;
+  partial.shard = 0;
+  fleet::run_fleet(space, partial, jobs1);
+  const fleet::Scorecard card = fleet::score_fleet(
+      fleet::load_results(space, partial), space.size(), space.name, 2);
+  EXPECT_EQ(card.missing, space.size() - s0.owned);
+}
+
+TEST(FleetScorecard, QuantileAndWorstRanking) {
+  EXPECT_EQ(fleet::quantile({}, 0.95), 0.0);
+  EXPECT_EQ(fleet::quantile({5.0}, 0.95), 5.0);
+  EXPECT_EQ(fleet::quantile({1.0, 3.0}, 0.5), 2.0);
+  EXPECT_EQ(fleet::quantile({1.0, 2.0, 3.0, 4.0}, 1.0), 4.0);
+
+  // Worst ranking: lowest min SLO hit rate first, ties by highest p95.
+  std::vector<fleet::FleetScenarioResult> results(3);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    results[i].index = i;
+    results[i].label = "r" + std::to_string(i);
+    fleet::FleetTenantOutcome t;
+    t.qos = "latency_critical";
+    t.slo_hit_rate = (i == 1) ? 0.5 : 0.9;
+    t.p95_latency = (i == 2) ? 900.0 : 100.0;
+    results[i].tenants.push_back(t);
+  }
+  const fleet::Scorecard card = fleet::score_fleet(results, 3, "t", 2);
+  ASSERT_EQ(card.worst.size(), 2u);
+  EXPECT_EQ(card.worst[0].index, 1u);
+  EXPECT_EQ(card.worst[0].min_slo_hit_rate, 0.5);
+  EXPECT_EQ(card.worst[1].index, 2u);
+  ASSERT_EQ(card.classes.count("latency_critical"), 1u);
+  EXPECT_EQ(card.classes.at("latency_critical").worst_slo_hit_rate, 0.5);
+}
+
+}  // namespace
+}  // namespace drlnoc
