@@ -77,6 +77,28 @@ inline std::unique_ptr<rl::DqnAgent> train_agent(core::NocConfigEnv& env,
   return agent;
 }
 
+/// Trains a fresh agent with the multi-actor collector
+/// (core::train_dqn_parallel). `round` is part of the experiment definition
+/// (changing it changes the curve, like a seed); `actors` only fans the
+/// environment stepping across threads — results are bit-identical at any
+/// value, so tables stay actors-invariant while training buys wall-clock.
+inline std::unique_ptr<rl::DqnAgent> train_agent_parallel(
+    const core::NocEnvParams& ep, int episodes, int round, int actors,
+    std::uint64_t seed = 7) {
+  const auto steps = static_cast<std::uint64_t>(episodes) *
+                     static_cast<std::uint64_t>(ep.epochs_per_episode);
+  core::NocConfigEnv probe(ep);  // observation/action dims only
+  auto agent = std::make_unique<rl::DqnAgent>(
+      probe.state_size(), probe.num_actions(), standard_dqn(steps, seed));
+  core::ParallelTrainParams tp;
+  tp.episodes = episodes;
+  tp.round = round;
+  tp.actors = actors;
+  tp.eval_every = 0;
+  core::train_dqn_parallel(ep, *agent, tp);
+  return agent;
+}
+
 /// Mean + normal-approximation 95% CI of one metric across replica values.
 /// Thin alias for core::summarize_metric (the implementation moved into the
 /// library so the fleet harness and tests share it); kept so the table

@@ -73,12 +73,13 @@ inline void write_metrics_json(
     std::ostream& os, const std::string& bench_name,
     const std::vector<std::pair<std::string, double>>& metrics,
     const std::map<std::string, double>& baseline,
-    const std::string& units = "per_second") {
+    const std::string& units = "per_second", const std::string& note = "") {
   os.precision(6);
   os << "{\n  \"bench\": \"" << bench_name
      << "\",\n  \"schema\": " << kBenchJsonSchema
      << ",\n  \"git\": \"" << DRLNOC_GIT_DESCRIBE
      << "\",\n  \"units\": \"" << units << "\",\n";
+  if (!note.empty()) os << "  \"note\": \"" << note << "\",\n";
   os << "  \"metrics\": {\n";
   for (std::size_t i = 0; i < metrics.size(); ++i) {
     os << "    \"" << metrics[i].first << "\": " << metrics[i].second

@@ -7,10 +7,11 @@
 // happily trades victim p95 for fabric-wide energy) while spending less
 // power than static-max.
 //
-// Replication fans out over the experiment engine; results (including the
-// emitted JSON) are bit-identical at any --jobs value. `--smoke` shrinks
-// everything for CI; `out=FILE.json` dumps per-tenant metrics via
-// bench/bench_json.h.
+// Training uses the multi-actor collector (round= is semantic, actors= is
+// thread fan-out only) and replication fans out over the experiment engine;
+// results (including the emitted JSON) are bit-identical at any
+// --jobs/actors= value. `--smoke` shrinks everything for CI; `out=FILE.json`
+// dumps per-tenant metrics via bench/bench_json.h.
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -78,6 +79,11 @@ int main(int argc, char** argv) {
 
   const int size = cfg.get("size", smoke ? 4 : 8);
   const int episodes = cfg.get("episodes", smoke ? 2 : 80);
+  // Multi-actor training (PR 10): `round` is semantic (part of the
+  // experiment definition), `actors` is pure wall-clock fan-out — the table
+  // and the emitted JSON are bit-identical at any actors/jobs value.
+  const int round = cfg.get("round", 8);
+  const int actors = cfg.get("actors", 0);
   const int replicas = cfg.get("replicas", smoke ? 2 : 8);
   const double bg_rate = cfg.get("bg_rate", 0.05);
   const double rate_scale = cfg.get("rate_scale", 1.0);
@@ -134,13 +140,16 @@ int main(int argc, char** argv) {
             << " latency_critical p95<=" << p95_target
             << " + uniform background @" << bg_rate
             << "; power_ref = " << qos_env.power_ref_mw()
-            << " mW; jobs = " << runner.jobs() << ")\n\n";
+            << " mW; round = " << round << "; jobs = " << runner.jobs()
+            << ")\n\n";
 
-  auto qos_agent = bench::train_agent(qos_env, episodes);
-  auto agg_agent = bench::train_agent(agg_env, episodes);
+  auto qos_agent = bench::train_agent_parallel(qos_ep, episodes, round, actors);
+  auto agg_agent = bench::train_agent_parallel(agg_ep, episodes, round, actors);
 
   // `save_policy=FILE` persists the QoS-trained policy so a `.drlsc`
-  // [controller] block can replay this row via `scenarioctl run`.
+  // [controller] block can replay this row via `scenarioctl run`. The
+  // checkpoint carries the scenario content hash + building commit, so the
+  // replay warns if it serves a different scenario.
   const std::string policy_path = cfg.get("save_policy", std::string());
   if (!policy_path.empty()) {
     std::ofstream out(policy_path, std::ios::binary);
@@ -148,7 +157,10 @@ int main(int argc, char** argv) {
       LOG_ERROR << "table6: cannot write " << policy_path;
       return 1;
     }
-    qos_agent->save(out);
+    rl::PolicyMeta meta;
+    meta.scenario_hash = scenario::content_hash_hex(*s);
+    meta.git = DRLNOC_GIT_DESCRIBE;
+    qos_agent->save(out, meta);
     std::cout << "saved QoS policy to " << policy_path << "\n";
   }
 

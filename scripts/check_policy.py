@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Validate versioned policy checkpoints (stdlib only; CI gate).
+
+Usage: check_policy.py POLICY.drlpol [...] [--fingerprint] [--expect-git]
+
+Checks each file carries the `drlpol 1` header the RL subsystem promises
+(src/rl/policy_io.h, spec in docs/FORMATS.md): magic + version, positive
+obs/actions dimensions, a plausible hidden-layer list, known
+activation/head tokens, a well-formed scenario hash (16 lowercase hex
+digits or '-'), the `end` sentinel, and a raw `mlp` weight blob whose
+declared boundary sizes match the header. With --fingerprint, prints each
+file's policy version (FNV-1a 64 over the checkpoint bytes — the value
+scenarioctl run pin= / fleetctl policy_pin= check against). With
+--expect-git, fails when the git provenance line is `unknown` (a tarball
+build slipped into a pipeline that should stamp commits).
+"""
+
+import argparse
+import re
+import sys
+
+MAX_HIDDEN = 62
+MAX_WIDTH = 1 << 20
+SCENARIO_RE = re.compile(r"^[0-9a-f]{16}$")
+
+
+def fail(path, msg):
+    raise SystemExit(f"check_policy: {path}: {msg}")
+
+
+def require(cond, path, msg):
+    if not cond:
+        fail(path, msg)
+
+
+def fingerprint(blob):
+    """FNV-1a 64 of the checkpoint bytes, matching rl::policy_fingerprint
+    (same basis/prime as the repo's other content keys)."""
+    h = 1469598103934665603
+    for b in blob:
+        h ^= b
+        h = (h * 1099511628211) & 0xFFFFFFFFFFFFFFFF
+    return f"{h:016x}"
+
+
+def parse_header(path, text):
+    """Returns the parsed header dict and the offset of the weight blob."""
+    lines = []
+    pos = 0
+    while len(lines) < 9:
+        nl = text.find("\n", pos)
+        require(nl >= 0, path, "truncated header (no 'end' line)")
+        lines.append(text[pos:nl])
+        pos = nl + 1
+    require(lines[0] == "drlpol 1", path,
+            f"bad magic line {lines[0]!r} (expected 'drlpol 1')")
+    header = {}
+    for line, key in zip(lines[1:8], ("obs", "actions", "hidden",
+                                      "activation", "head", "scenario",
+                                      "git")):
+        tokens = line.split()
+        require(len(tokens) >= 2 and tokens[0] == key, path,
+                f"malformed header line {line!r} (expected '{key} ...')")
+        header[key] = tokens[1:]
+    require(lines[8] == "end", path,
+            f"bad sentinel line {lines[8]!r} (expected 'end')")
+    return header, pos
+
+
+def check_policy(path, expect_git):
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    require(blob, path, "empty file")
+    try:
+        text = blob.decode("ascii")
+    except UnicodeDecodeError:
+        # Weight bytes are ASCII decimal too; a decode failure means the
+        # file is not a text checkpoint at all.
+        fail(path, "not an ASCII policy checkpoint")
+    header, blob_off = parse_header(path, text)
+
+    obs = int(header["obs"][0])
+    actions = int(header["actions"][0])
+    require(obs > 0, path, f"obs must be > 0, got {obs}")
+    require(actions > 0, path, f"actions must be > 0, got {actions}")
+    hidden_count = int(header["hidden"][0])
+    hidden = [int(tok) for tok in header["hidden"][1:]]
+    require(hidden_count == len(hidden), path,
+            f"hidden declares {hidden_count} sizes but lists {len(hidden)}")
+    require(0 <= hidden_count <= MAX_HIDDEN, path,
+            f"implausible hidden count {hidden_count}")
+    for width in hidden:
+        require(1 <= width <= MAX_WIDTH, path,
+                f"implausible hidden width {width}")
+    require(header["activation"][0] in ("relu", "tanh"), path,
+            f"unknown activation {header['activation'][0]!r}")
+    require(header["head"][0] in ("dueling", "plain"), path,
+            f"unknown head {header['head'][0]!r}")
+    scenario = header["scenario"][0]
+    require(scenario == "-" or SCENARIO_RE.match(scenario), path,
+            f"malformed scenario hash {scenario!r}")
+    if expect_git:
+        require(header["git"][0] != "unknown", path,
+                "git provenance is 'unknown' (--expect-git)")
+
+    # The embedded network: `mlp <n> <sizes...> <activation> <head>`, and
+    # the boundary sizes must match the header's declared architecture.
+    net_line = text[blob_off:text.find("\n", blob_off)]
+    tokens = net_line.split()
+    require(len(tokens) >= 2 and tokens[0] == "mlp", path,
+            f"weight blob does not start with 'mlp': {net_line[:40]!r}")
+    sizes = [int(tok) for tok in tokens[2:2 + int(tokens[1])]]
+    require(sizes == [obs] + hidden + [actions], path,
+            f"embedded network sizes {sizes} do not match the header "
+            f"{[obs] + hidden + [actions]}")
+    return header
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("policies", nargs="+", metavar="POLICY.drlpol")
+    ap.add_argument("--fingerprint", action="store_true",
+                    help="print each file's policy version (pin value)")
+    ap.add_argument("--expect-git", action="store_true",
+                    help="fail when git provenance is 'unknown'")
+    opts = ap.parse_args()
+    for path in opts.policies:
+        header = check_policy(path, opts.expect_git)
+        summary = (f"obs {header['obs'][0]} actions {header['actions'][0]} "
+                   f"hidden {' '.join(header['hidden'][1:]) or '-'} "
+                   f"{header['activation'][0]}/{header['head'][0]} "
+                   f"scenario {header['scenario'][0]} git {header['git'][0]}")
+        if opts.fingerprint:
+            with open(path, "rb") as fh:
+                print(f"{fingerprint(fh.read())}  {path}  # {summary}")
+        else:
+            print(f"OK: {path} ({summary})")
+
+
+if __name__ == "__main__":
+    main()

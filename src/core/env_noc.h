@@ -98,6 +98,12 @@ class NocConfigEnv : public rl::Environment {
     return composite_;
   }
   int episode() const { return episode_; }
+  /// Positions the episode counter so the NEXT reset() runs global episode
+  /// `episode` (0-based) of the serial seed stream: reset() pre-increments,
+  /// so after seek_episode(g) + reset() the traffic seed is exactly what a
+  /// serial trainer would use on its (g+1)-th episode. Parallel training
+  /// lanes use this to interleave the one serial episode sequence.
+  void seek_episode(int episode) { episode_ = episode; }
   /// The auto-calibrated power normalizer (max-config power at the
   /// workload's busiest phase), in mW.
   double power_ref_mw() const { return power_ref_mw_; }

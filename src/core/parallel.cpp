@@ -6,8 +6,6 @@
 
 namespace drlnoc::core {
 
-namespace {
-
 // Calibrating the power reference costs two max-config epochs; do it once
 // up front instead of once per task (every task's fresh environment would
 // deterministically recompute the same value from the same parameters).
@@ -22,8 +20,6 @@ NocEnvParams with_calibrated_power_ref(const NocEnvParams& params) {
   }
   return p;
 }
-
-}  // namespace
 
 std::vector<EpisodeResult> sweep_static_parallel(
     const NocEnvParams& base, const ExperimentRunner& runner) {

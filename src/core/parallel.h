@@ -45,6 +45,14 @@ class ExperimentRunner {
   int jobs_;
 };
 
+/// Returns `params` with the observability taps stripped (they are
+/// single-threaded; worker environments must never share them) and the
+/// reward's power reference calibrated once up front — every worker's fresh
+/// environment would deterministically recompute the same value from the
+/// same parameters, at two max-config epochs each. Every fan-out entry
+/// point (sweeps, replications, the parallel trainer) starts here.
+NocEnvParams with_calibrated_power_ref(const NocEnvParams& params);
+
 /// Evaluates every static configuration of `params.actions` — one fresh
 /// environment per action, evaluated concurrently — and returns results
 /// sorted by mean EDP (element 0 is the oracle static). Bit-identical to the

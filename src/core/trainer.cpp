@@ -1,6 +1,9 @@
 #include "core/trainer.h"
 
+#include <algorithm>
 #include <iostream>
+#include <stdexcept>
+#include <utility>
 
 #include "core/parallel.h"
 #include "obs/profiler.h"
@@ -172,6 +175,152 @@ TrainResult train_dqn(NocConfigEnv& env, rl::DqnAgent& agent,
         std::cout << "episode " << ep + 1 << " return=" << ep_return
                   << " eval=" << eval.total_reward
                   << " eps=" << agent.epsilon() << '\n';
+      }
+    }
+  }
+  return result;
+}
+
+TrainResult train_dqn_parallel(const NocEnvParams& base, rl::DqnAgent& agent,
+                               const ParallelTrainParams& params) {
+  if (params.episodes < 0) {
+    throw std::invalid_argument("train_dqn_parallel: episodes must be >= 0");
+  }
+  if (params.round < 1) {
+    throw std::invalid_argument("train_dqn_parallel: round must be >= 1");
+  }
+  TrainResult result;
+  if (params.episodes == 0) return result;
+
+  const NocEnvParams calibrated = with_calibrated_power_ref(base);
+  const int max_lanes = std::min(params.round, params.episodes);
+  const ExperimentRunner runner(params.actors);
+
+  // Lane environments persist across rounds; seek_episode() re-pins each
+  // onto the serial per-episode seed stream before every reset, so lane l
+  // of round r replays exactly the traffic a serial trainer would see on
+  // episode r*round + l.
+  std::vector<std::unique_ptr<NocConfigEnv>> envs;
+  envs.reserve(static_cast<std::size_t>(max_lanes));
+  for (int l = 0; l < max_lanes; ++l) {
+    envs.push_back(std::make_unique<NocConfigEnv>(calibrated));
+  }
+  NocConfigEnv eval_env(calibrated);
+
+  const int steps = calibrated.epochs_per_episode;
+  const int num_actions = envs[0]->num_actions();
+  std::vector<rl::State> states(static_cast<std::size_t>(max_lanes));
+  std::vector<std::vector<rl::Transition>> collected(
+      static_cast<std::size_t>(max_lanes));
+  std::vector<double> returns(static_cast<std::size_t>(max_lanes), 0.0);
+  std::vector<util::Rng> lane_rng;
+  nn::Matrix batch_states;
+  std::vector<int> greedy_actions;
+  std::vector<int> actions(static_cast<std::size_t>(max_lanes), 0);
+
+  const int rounds = (params.episodes + params.round - 1) / params.round;
+  for (int r = 0; r < rounds; ++r) {
+    const int first = r * params.round;
+    const int lanes = std::min(params.round, params.episodes - first);
+
+    // Episode resets simulate a warm-up epoch each, so they fan out too.
+    runner.for_each(lanes, [&](int l) {
+      envs[l]->seek_episode(first + l);
+      states[l] = envs[l]->reset();
+    });
+    lane_rng.clear();
+    for (int l = 0; l < lanes; ++l) {
+      // Per-episode exploration sub-seed: a pure function of the global
+      // episode index, so the exploration sequence is independent of both
+      // the actor count and the round size a lane happens to land in.
+      lane_rng.emplace_back(agent.params().seed +
+                            0x9e3779b97f4a7c15ULL *
+                                (static_cast<std::uint64_t>(first + l) + 1));
+      collected[l].clear();
+      returns[l] = 0.0;
+    }
+
+    for (int s = 0; s < steps; ++s) {
+      {
+        // ONE batched forward selects greedy actions for every lane — the
+        // workspace MLP turns N per-lane matmuls into one N-row matmul.
+        // Greedy values are computed for exploring lanes too: the forward
+        // consumes no randomness, so it cannot perturb determinism.
+        obs::ScopedPhase rollout(obs::Phase::kRollout);
+        batch_states.resize_fast(static_cast<std::size_t>(lanes),
+                                 states[0].size());
+        for (int l = 0; l < lanes; ++l) batch_states.set_row(l, states[l]);
+        agent.act_greedy_batch(batch_states, greedy_actions);
+        for (int l = 0; l < lanes; ++l) {
+          // Epsilon at the lane's GLOBAL step index — fixed-length episodes
+          // make the serial step count a closed form — with the draw order
+          // of DqnAgent::act (chance, then below only when exploring).
+          const std::uint64_t global_step =
+              static_cast<std::uint64_t>(first + l) *
+                  static_cast<std::uint64_t>(steps) +
+              static_cast<std::uint64_t>(s);
+          const double eps = agent.epsilon_at(global_step);
+          actions[l] =
+              lane_rng[l].chance(eps)
+                  ? static_cast<int>(lane_rng[l].below(
+                        static_cast<std::uint64_t>(num_actions)))
+                  : greedy_actions[l];
+        }
+      }
+      runner.for_each(lanes, [&](int l) {
+        obs::ScopedPhase env_step(obs::Phase::kEnvStep);
+        const rl::StepResult sr = envs[l]->step(actions[l]);
+        rl::Transition t;
+        t.state = states[l];
+        t.action = actions[l];
+        t.reward = sr.reward;
+        t.next_state = sr.next_state;
+        t.done = sr.done;
+        collected[l].push_back(std::move(t));
+        returns[l] += sr.reward;
+        states[l] = sr.next_state;
+      });
+    }
+
+    // Deterministic merge: transitions drain step-major / lane-minor, the
+    // fixed round-robin order the design doc pins. Learn steps fire inside
+    // observe() exactly as in serial training; the online net was frozen
+    // through the rollout above, so which thread stepped which lane can
+    // never leak into the weights.
+    std::vector<double> loss_sum(static_cast<std::size_t>(lanes), 0.0);
+    std::vector<int> loss_count(static_cast<std::size_t>(lanes), 0);
+    {
+      obs::ScopedPhase learn(obs::Phase::kLearn);
+      for (int s = 0; s < steps; ++s) {
+        for (int l = 0; l < lanes; ++l) {
+          if (const auto loss = agent.observe(collected[l][s])) {
+            loss_sum[l] += *loss;
+            ++loss_count[l];
+          }
+        }
+      }
+    }
+    for (int l = 0; l < lanes; ++l) {
+      result.episode_returns.push_back(returns[l]);
+      result.episode_loss.push_back(
+          loss_count[l] ? loss_sum[l] / loss_count[l] : 0.0);
+    }
+
+    // Greedy evals at the same global-episode milestones as the serial
+    // trainer, run after the round's drain so they see the updated policy.
+    if (params.eval_every > 0) {
+      for (int l = 0; l < lanes; ++l) {
+        const int g = first + l;
+        if ((g + 1) % params.eval_every != 0) continue;
+        DrlController greedy(eval_env.actions(), agent);
+        const EpisodeResult eval = evaluate(eval_env, greedy);
+        result.eval_rewards.push_back(eval.total_reward);
+        result.eval_episodes.push_back(g + 1);
+        if (params.verbose) {
+          std::cout << "episode " << g + 1 << " return=" << returns[l]
+                    << " eval=" << eval.total_reward
+                    << " eps=" << agent.epsilon() << '\n';
+        }
       }
     }
   }

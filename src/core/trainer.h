@@ -84,6 +84,32 @@ struct TrainResult {
 TrainResult train_dqn(NocConfigEnv& env, rl::DqnAgent& agent,
                       const TrainParams& params);
 
+/// Multi-actor rollout training (see docs/ARCHITECTURE.md, "Parallel
+/// training"). Episodes are grouped into rounds of `round` lanes; within a
+/// round all lanes step in lockstep, greedy actions come from ONE batched
+/// forward across the lanes (the PR 2 workspace MLP), and the collected
+/// transitions drain into the shared replay in a fixed round-robin order.
+/// `round` is semantic — changing it changes the learning curve — while
+/// `actors` is purely the worker-thread count fanning the environment
+/// steps, so results are bit-identical at any `actors` value.
+struct ParallelTrainParams {
+  int episodes = 40;
+  /// Lockstep environment lanes per round. Part of the experiment
+  /// definition, like a seed: lane l of round r runs global episode
+  /// r*round + l of the serial per-episode seed stream.
+  int round = 8;
+  /// Worker threads stepping the lanes; <= 0 means one per hardware
+  /// thread. Never affects results.
+  int actors = 0;
+  int eval_every = 10;  ///< 0 disables periodic greedy evals
+  bool verbose = false;
+};
+
+/// Trains `agent` over environments built from `base` (taps stripped,
+/// power reference calibrated once — see with_calibrated_power_ref).
+TrainResult train_dqn_parallel(const NocEnvParams& base, rl::DqnAgent& agent,
+                               const ParallelTrainParams& params);
+
 /// Evaluates every static configuration for one episode and returns results
 /// sorted by mean EDP (oracle-static baseline; element 0 is the oracle).
 /// Configurations are evaluated concurrently across `jobs` threads (<= 0

@@ -8,6 +8,7 @@
 
 #include "core/env_noc.h"
 #include "core/trainer.h"
+#include "rl/policy_io.h"
 #include "scenario/runtime.h"
 #include "scenario/scenario_io.h"
 #include "util/config.h"
@@ -46,6 +47,19 @@ void check_params(const FleetParams& params) {
   }
   if (params.controller == "drl" && params.policy_blob.empty()) {
     fail("drl fleet requires a trained policy (policy_blob empty)");
+  }
+  if (!params.policy_pin.empty()) {
+    if (params.controller != "drl") {
+      fail("policy_pin is only meaningful with controller=drl");
+    }
+    // Check the pin up front so a stale pin aborts before any scenario
+    // work (the per-scenario schedule build re-checks it too).
+    const std::string fp = rl::policy_fingerprint(params.policy_blob);
+    if (fp != params.policy_pin) {
+      fail("policy fingerprint " + fp + " does not match the pinned version " +
+           params.policy_pin + " (the policy file changed since it was "
+           "pinned)");
+    }
   }
   if (params.epoch_cycles == 0) fail("epoch_cycles must be > 0");
   if (params.epochs <= 0) fail("epochs must be > 0");
@@ -103,6 +117,11 @@ void write_result_file(const std::string& path,
     os << "retries = " << r.retries << "\n";
     os << "packets_lost = " << r.packets_lost << "\n";
     os << "rerouted_hops = " << r.rerouted_hops << "\n";
+    // Only drl results carry a policy version; omitting the key otherwise
+    // keeps policy-free result files byte-identical to the PR 9 format.
+    if (!r.policy_version.empty()) {
+      os << "policy_version = " << r.policy_version << "\n";
+    }
     os << "tenants = " << r.tenants.size() << "\n";
     for (std::size_t i = 0; i < r.tenants.size(); ++i) {
       const FleetTenantOutcome& t = r.tenants[i];
@@ -149,6 +168,7 @@ std::optional<FleetScenarioResult> read_result_file(const std::string& path) {
   r.retries = static_cast<std::uint64_t>(cfg.get("retries", 0LL));
   r.packets_lost = static_cast<std::uint64_t>(cfg.get("packets_lost", 0LL));
   r.rerouted_hops = static_cast<std::uint64_t>(cfg.get("rerouted_hops", 0LL));
+  r.policy_version = cfg.get("policy_version", std::string());
   const int tenants = cfg.get("tenants", 0);
   for (int i = 0; i < tenants; ++i) {
     const std::string p = "tenant" + std::to_string(i) + ".";
@@ -180,6 +200,9 @@ FleetScenarioResult evaluate_scenario(const ExpandedScenario& point,
     scn.controller.policy_file =
         params.policy_file.empty() ? "<fleet policy>" : params.policy_file;
     scn.controller.policy_blob = params.policy_blob;
+    // The pin rides through the same schedule-build path as standalone
+    // runs, so one check covers both.
+    scn.controller.policy_pin = params.policy_pin;
   }
 
   core::NocEnvParams ep;
@@ -207,6 +230,9 @@ FleetScenarioResult evaluate_scenario(const ExpandedScenario& point,
   r.retries = episode.retries;
   r.packets_lost = episode.packets_lost;
   r.rerouted_hops = episode.rerouted_hops;
+  if (params.controller == "drl") {
+    r.policy_version = rl::policy_fingerprint(params.policy_blob);
+  }
   for (std::size_t i = 0; i < episode.tenants.size(); ++i) {
     const core::TenantEpisodeSummary& s = episode.tenants[i];
     FleetTenantOutcome t;

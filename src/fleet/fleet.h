@@ -36,6 +36,10 @@ struct FleetParams {
   std::string controller = "heuristic";
   std::string policy_file;  ///< provenance (drl)
   std::string policy_blob;  ///< DqnAgent::save bytes, loaded by the caller
+  /// Optional pinned policy version (16-hex rl::policy_fingerprint): when
+  /// set, every scenario build re-checks the served blob against it, so a
+  /// fleet can prove exactly which policy produced its result files.
+  std::string policy_pin;
   std::uint64_t epoch_cycles = 512;  ///< router cycles between decisions
   int epochs = 24;                   ///< decision epochs per scenario
   /// Per-tenant QoS feature slices scale the state with the tenant count, so
@@ -75,6 +79,10 @@ struct FleetScenarioResult {
   std::uint64_t retries = 0;
   std::uint64_t packets_lost = 0;
   std::uint64_t rerouted_hops = 0;
+  /// rl::policy_fingerprint of the served policy (drl fleets); empty for
+  /// policy-free controllers and in result files written before PR 10
+  /// (the reader is tolerant: the key is simply absent).
+  std::string policy_version;
   std::vector<FleetTenantOutcome> tenants;
 };
 

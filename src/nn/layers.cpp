@@ -530,20 +530,83 @@ void Mlp::save(std::ostream& os) const {
 }
 
 Mlp Mlp::load(std::istream& is) {
+  // A blob from outside the process is untrusted: the layer count and every
+  // layer width are range-checked BEFORE any allocation sized by them, and
+  // unknown tokens are hard errors — the old silent ReLU/non-dueling
+  // fallback could load a tanh or dueling policy as the wrong architecture
+  // with plausible-looking (wrong) Q-values.
+  constexpr std::size_t kMaxLayers = 64;
+  constexpr std::size_t kMaxWidth = 1u << 20;
   std::string magic;
+  if (!(is >> magic) || magic != "mlp") {
+    throw std::runtime_error("Mlp::load: bad magic '" + magic +
+                             "' (expected 'mlp')");
+  }
   std::size_t n = 0;
-  if (!(is >> magic >> n) || magic != "mlp")
-    throw std::runtime_error("Mlp::load: bad header");
+  if (!(is >> n)) throw std::runtime_error("Mlp::load: missing layer count");
+  if (n < 2 || n > kMaxLayers) {
+    throw std::runtime_error("Mlp::load: implausible layer count " +
+                             std::to_string(n) + " (expected 2.." +
+                             std::to_string(kMaxLayers) + ")");
+  }
   std::vector<std::size_t> sizes(n);
-  for (auto& s : sizes) {
-    if (!(is >> s)) throw std::runtime_error("Mlp::load: sizes");
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(is >> sizes[i])) {
+      throw std::runtime_error("Mlp::load: truncated size list (got " +
+                               std::to_string(i) + " of " +
+                               std::to_string(n) + " sizes)");
+    }
+    if (sizes[i] < 1 || sizes[i] > kMaxWidth) {
+      throw std::runtime_error("Mlp::load: implausible layer size " +
+                               std::to_string(sizes[i]) + " at index " +
+                               std::to_string(i) + " (expected 1.." +
+                               std::to_string(kMaxWidth) + ")");
+    }
   }
   std::string act, head;
   if (!(is >> act >> head)) throw std::runtime_error("Mlp::load: header tail");
+  Activation activation;
+  if (act == "relu") {
+    activation = Activation::kReLU;
+  } else if (act == "tanh") {
+    activation = Activation::kTanh;
+  } else {
+    throw std::runtime_error("Mlp::load: unknown activation '" + act +
+                             "' (expected relu|tanh)");
+  }
+  bool dueling;
+  if (head == "dueling") {
+    dueling = true;
+  } else if (head == "plain") {
+    dueling = false;
+  } else {
+    throw std::runtime_error("Mlp::load: unknown head '" + head +
+                             "' (expected dueling|plain)");
+  }
   util::Rng dummy(0);
-  Mlp mlp(sizes, act == "tanh" ? Activation::kTanh : Activation::kReLU,
-          dummy, head == "dueling");
-  for (Matrix* p : mlp.params()) *p = Matrix::load(is);
+  Mlp mlp(sizes, activation, dummy, dueling);
+  const std::vector<Matrix*>& params = mlp.params();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Matrix loaded;
+    try {
+      loaded = Matrix::load(is);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("Mlp::load: parameter " + std::to_string(i) +
+                               " of " + std::to_string(params.size()) + ": " +
+                               e.what());
+    }
+    if (loaded.rows() != params[i]->rows() ||
+        loaded.cols() != params[i]->cols()) {
+      throw std::runtime_error(
+          "Mlp::load: parameter " + std::to_string(i) + " of " +
+          std::to_string(params.size()) + " is " +
+          std::to_string(loaded.rows()) + "x" + std::to_string(loaded.cols()) +
+          " but the declared sizes require " +
+          std::to_string(params[i]->rows()) + "x" +
+          std::to_string(params[i]->cols()));
+    }
+    *params[i] = std::move(loaded);
+  }
   return mlp;
 }
 

@@ -216,10 +216,18 @@ class Mlp {
   double clip_grad_norm(double max_norm);
 
   void save(std::ostream& os) const;
+  /// Deserializes a save() blob. Strict: unknown activation/head tokens,
+  /// implausible layer counts or widths, and truncated or reshaped parameter
+  /// matrices are all rejected with errors naming the offending token or
+  /// parameter index — a corrupt file never silently becomes a ReLU net.
   static Mlp load(std::istream& is);
 
   std::size_t input_size() const { return input_size_; }
   std::size_t output_size() const { return output_size_; }
+  /// {in, hidden..., out} as passed at construction.
+  const std::vector<std::size_t>& sizes() const { return sizes_; }
+  Activation activation() const { return activation_; }
+  bool dueling() const { return dueling_; }
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;

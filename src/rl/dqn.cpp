@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -38,7 +39,46 @@ void stack_states_into(nn::Matrix& m, const std::vector<Transition>& batch,
 }
 
 using nn::argmax_row;
+
+[[noreturn]] void bad_param(const std::string& field, double value) {
+  throw std::invalid_argument("DqnParams: " + field + " = " +
+                              std::to_string(value) + " is out of range");
+}
 }  // namespace
+
+void DqnParams::validate() const {
+  if (!std::isfinite(gamma) || gamma <= 0.0 || gamma > 1.0) {
+    bad_param("gamma (expected in (0, 1])", gamma);
+  }
+  if (!std::isfinite(lr) || lr <= 0.0) bad_param("lr (expected > 0)", lr);
+  if (batch_size < 1) {
+    bad_param("batch_size (expected >= 1)", static_cast<double>(batch_size));
+  }
+  if (replay_capacity < batch_size) {
+    bad_param("replay_capacity (expected >= batch_size)",
+              static_cast<double>(replay_capacity));
+  }
+  if (n_step < 1) bad_param("n_step (expected >= 1)", n_step);
+  if (!std::isfinite(tau) || tau < 0.0 || tau > 1.0) {
+    bad_param("tau (expected in [0, 1])", tau);
+  }
+  if (target_sync_every == 0 && tau == 0.0) {
+    throw std::invalid_argument(
+        "DqnParams: target_sync_every = 0 with tau = 0 leaves the target "
+        "network with no update rule; set target_sync_every > 0 for "
+        "periodic hard syncs or tau > 0 for Polyak updates");
+  }
+  if (!std::isfinite(grad_clip) || grad_clip <= 0.0) {
+    bad_param("grad_clip (expected > 0)", grad_clip);
+  }
+  if (!std::isfinite(epsilon_start) || epsilon_start < 0.0 ||
+      epsilon_start > 1.0) {
+    bad_param("epsilon_start (expected in [0, 1])", epsilon_start);
+  }
+  if (!std::isfinite(epsilon_end) || epsilon_end < 0.0 || epsilon_end > 1.0) {
+    bad_param("epsilon_end (expected in [0, 1])", epsilon_end);
+  }
+}
 
 DqnAgent::DqnAgent(std::size_t state_size, int num_actions, DqnParams params)
     : state_size_(state_size), num_actions_(num_actions),
@@ -50,7 +90,7 @@ DqnAgent::DqnAgent(std::size_t state_size, int num_actions, DqnParams params)
       epsilon_(params_.epsilon_start, params_.epsilon_end,
                params_.epsilon_decay_steps) {
   if (num_actions < 1) throw std::invalid_argument("need >= 1 action");
-  if (params_.n_step < 1) throw std::invalid_argument("n_step must be >= 1");
+  params_.validate();
   if (params_.prioritized) {
     prioritized_replay_ = std::make_unique<PrioritizedReplayBuffer>(
         params_.replay_capacity, params_.per_alpha, params_.per_beta);
@@ -78,6 +118,16 @@ int DqnAgent::act_greedy(const State& state) {
   to_matrix_into(ws_state_, state);
   const nn::Matrix& q = online_.infer_ws(ws_state_);
   return static_cast<int>(argmax_row(q, 0));
+}
+
+void DqnAgent::act_greedy_batch(const nn::Matrix& states,
+                                std::vector<int>& actions) {
+  assert(states.cols() == state_size_);
+  const nn::Matrix& q = online_.infer_ws(states);
+  actions.resize(states.rows());
+  for (std::size_t r = 0; r < states.rows(); ++r) {
+    actions[r] = static_cast<int>(argmax_row(q, r));
+  }
 }
 
 std::vector<double> DqnAgent::q_values(const State& state) {
@@ -203,21 +253,42 @@ double DqnAgent::learn() {
   ++learn_steps_;
   if (params_.tau > 0.0) {
     target_.soft_update_from(online_, params_.tau);
-  } else if (learn_steps_ % params_.target_sync_every == 0) {
+  } else if (params_.target_sync_every > 0 &&
+             learn_steps_ % params_.target_sync_every == 0) {
     target_.copy_weights_from(online_);
   }
   return ws_loss_.loss;
 }
 
-void DqnAgent::save(std::ostream& os) const { online_.save(os); }
+void DqnAgent::save(std::ostream& os, const PolicyMeta& meta) const {
+  write_policy(os, online_, meta);
+}
 
 void DqnAgent::load_weights(std::istream& is) {
-  load_weights(nn::Mlp::load(is));
+  PolicyCheckpoint ckpt = read_policy(is);
+  if (ckpt.net.input_size() != state_size_) {
+    throw std::runtime_error(
+        "DqnAgent::load_weights: policy expects " +
+        std::to_string(ckpt.net.input_size()) +
+        " observations but this agent's state size is " +
+        std::to_string(state_size_));
+  }
+  if (ckpt.net.output_size() != static_cast<std::size_t>(num_actions_)) {
+    throw std::runtime_error(
+        "DqnAgent::load_weights: policy has " +
+        std::to_string(ckpt.net.output_size()) +
+        " actions but this agent has " + std::to_string(num_actions_));
+  }
+  load_weights(std::move(ckpt.net));
 }
 
 void DqnAgent::load_weights(nn::Mlp net) {
   online_ = std::move(net);
-  target_.copy_weights_from(online_);
+  // Clone rather than copy_weights_from: the checkpoint's architecture may
+  // differ from the one this agent was constructed with (serving loads any
+  // compatible-dimension policy), and the stale target structure would
+  // reject it.
+  target_ = online_;
 }
 
 }  // namespace drlnoc::rl

@@ -14,6 +14,7 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "rl/env.h"
+#include "rl/policy_io.h"
 #include "rl/replay.h"
 #include "rl/schedule.h"
 #include "util/ring_buffer.h"
@@ -43,6 +44,12 @@ struct DqnParams {
   double epsilon_end = 0.05;
   std::uint64_t epsilon_decay_steps = 4000;
   std::uint64_t seed = 7;
+
+  /// Throws std::invalid_argument naming the offending field when a value is
+  /// out of range. Notably rejects the `target_sync_every == 0 && tau == 0`
+  /// combination, which would leave the target network with no update rule
+  /// at all (and used to crash learn() with a modulo by zero).
+  void validate() const;
 };
 
 class DqnAgent {
@@ -53,6 +60,11 @@ class DqnAgent {
   int act(const State& state);
   /// Greedy action (evaluation).
   int act_greedy(const State& state);
+  /// Greedy actions for a batch of states (one row per state): a single
+  /// matmul through the online net instead of `rows` separate forwards.
+  /// Row r of `states` yields `actions[r]`; bit-identical to calling
+  /// act_greedy on each row.
+  void act_greedy_batch(const nn::Matrix& states, std::vector<int>& actions);
   /// Q-values of a state (evaluation / inspection).
   std::vector<double> q_values(const State& state);
 
@@ -61,12 +73,23 @@ class DqnAgent {
   std::optional<double> observe(const Transition& t);
 
   double epsilon() const;
+  /// Exploration rate at an arbitrary env-step count. Parallel rollout
+  /// collection uses this to evaluate the schedule at a lane's *global*
+  /// step index without mutating the agent.
+  double epsilon_at(std::uint64_t steps) const { return epsilon_.value(steps); }
   std::uint64_t steps() const { return env_steps_; }
   std::uint64_t learn_steps() const { return learn_steps_; }
   std::size_t replay_size() const;
   const DqnParams& params() const { return params_; }
 
-  void save(std::ostream& os) const;
+  /// Writes a versioned `drlpol 1` checkpoint: header (dims, architecture,
+  /// optional training-scenario hash and git provenance) followed by the
+  /// raw weight blob. Pass a default-constructed PolicyMeta for an
+  /// anonymous checkpoint.
+  void save(std::ostream& os, const PolicyMeta& meta = {}) const;
+  /// Loads a checkpoint written by save() — or a legacy bare `mlp` blob —
+  /// rejecting dimension mismatches against this agent's state/action
+  /// space with errors naming both sides.
   void load_weights(std::istream& is);
   /// Adopts an already-deserialized policy network (e.g. one probed for
   /// dimension checks) as the online net; the target net is synced to it.

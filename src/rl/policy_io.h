@@ -1,0 +1,71 @@
+// Versioned policy checkpoints: the `drlpol 1` format wraps a raw Mlp
+// weight blob with a header recording the policy's interface (observation
+// and action dimensions), its architecture (hidden sizes, activation,
+// head), and its provenance (training-scenario content hash, git
+// describe). Serving paths check the header against the target environment
+// BEFORE deserializing weights, so a policy trained for one fabric can
+// never be silently installed on an incompatible one, and fleet result
+// files can record exactly which policy version produced them.
+//
+// Legacy bare `mlp ...` blobs (pre-versioning DqnAgent::save output) are
+// still readable everywhere a drlpol checkpoint is — they simply carry no
+// header, so only post-load dimension checks apply.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace drlnoc::rl {
+
+/// Provenance stamped into a drlpol header at save time. Either field may
+/// be empty (serialized as "-" / "unknown").
+struct PolicyMeta {
+  std::string scenario_hash;  ///< 16-hex content hash of the training scenario
+  std::string git;            ///< git describe of the producing build
+};
+
+/// Parsed drlpol header. `hidden`, `activation`, and `head` describe the
+/// embedded network and are cross-checked against it on read.
+struct PolicyHeader {
+  int version = 1;
+  std::size_t obs = 0;
+  std::size_t actions = 0;
+  std::vector<std::size_t> hidden;
+  std::string activation;     ///< "relu" | "tanh"
+  std::string head;           ///< "dueling" | "plain"
+  std::string scenario_hash;  ///< empty when saved without one
+  std::string git;            ///< empty when saved from an unknown build
+};
+
+struct PolicyCheckpoint {
+  /// Absent for legacy bare `mlp` blobs.
+  std::optional<PolicyHeader> header;
+  nn::Mlp net;
+};
+
+/// True when the stream (at its current position, which is restored)
+/// begins a versioned `drlpol` checkpoint rather than a bare `mlp` blob.
+bool is_versioned_policy(std::istream& is);
+
+/// Writes a `drlpol 1` checkpoint: header then the raw weight blob.
+void write_policy(std::ostream& os, const nn::Mlp& net, const PolicyMeta& meta);
+
+/// Reads a drlpol checkpoint or a legacy bare `mlp` blob. Throws
+/// std::runtime_error naming the offending key or token on malformed
+/// headers, and rejects checkpoints whose header disagrees with the
+/// embedded network's actual architecture.
+PolicyCheckpoint read_policy(std::istream& is);
+
+/// Convenience overload for in-memory blobs (scenario / fleet serving path).
+PolicyCheckpoint read_policy_blob(const std::string& blob);
+
+/// 16-hex FNV-1a fingerprint of the checkpoint bytes — the "policy
+/// version" recorded in fleet result files and matched against
+/// `policy_pin=`. Stable across machines (pure function of the bytes).
+std::string policy_fingerprint(const std::string& blob);
+
+}  // namespace drlnoc::rl

@@ -11,6 +11,8 @@
 #include "noc/topology.h"
 #include "noc/traffic.h"
 #include "rl/dqn.h"
+#include "rl/policy_io.h"
+#include "util/log.h"
 
 namespace drlnoc::scenario {
 
@@ -147,33 +149,56 @@ std::unique_ptr<core::Controller> build_scheduled_controller(
     return std::make_unique<core::HeuristicController>(env.actions(), hp);
   }
   if (ctl.type == "drl") {
+    // Pin check first: it is a pure byte comparison, so a wrong policy
+    // file is rejected before any parsing can muddy the message.
+    if (!ctl.policy_pin.empty()) {
+      const std::string fp = rl::policy_fingerprint(ctl.policy_blob);
+      if (fp != ctl.policy_pin) {
+        throw std::invalid_argument(
+            "scenario: controller policy fingerprint " + fp +
+            " does not match the pinned version " + ctl.policy_pin +
+            " (the policy file changed since it was pinned)");
+      }
+    }
     // Probe the policy's architecture first for a diagnosable mismatch
     // (DqnAgent::load_weights would adopt whatever the blob holds).
-    std::istringstream probe_in(ctl.policy_blob);
-    nn::Mlp probe;
+    // Accepts drlpol checkpoints and legacy bare mlp blobs alike.
+    rl::PolicyCheckpoint ckpt;
     try {
-      probe = nn::Mlp::load(probe_in);
+      ckpt = rl::read_policy_blob(ctl.policy_blob);
     } catch (const std::exception& e) {
       throw std::invalid_argument(
           "scenario: controller policy is not a DqnAgent::save artifact (" +
           std::string(e.what()) + ")");
     }
-    if (probe.input_size() != env.state_size() ||
-        probe.output_size() != static_cast<std::size_t>(env.num_actions())) {
+    if (ckpt.net.input_size() != env.state_size() ||
+        ckpt.net.output_size() !=
+            static_cast<std::size_t>(env.num_actions())) {
       throw std::invalid_argument(
           "scenario: controller policy expects state " +
-          std::to_string(probe.input_size()) + " / actions " +
-          std::to_string(probe.output_size()) +
+          std::to_string(ckpt.net.input_size()) + " / actions " +
+          std::to_string(ckpt.net.output_size()) +
           " but the environment has state " +
           std::to_string(env.state_size()) + " / actions " +
           std::to_string(env.num_actions()) +
           " (was the policy trained with the same QoS annotations?)");
     }
+    // Scenario-hash provenance is advisory: fleets legitimately evaluate
+    // one policy across scenario variants, so a mismatch warns but runs.
+    if (ckpt.header && !ckpt.header->scenario_hash.empty()) {
+      const std::string here = content_hash_hex(scenario);
+      if (ckpt.header->scenario_hash != here) {
+        LOG_WARN << "policy '" << ctl.policy_file << "' was trained on "
+                 << "scenario " << ckpt.header->scenario_hash
+                 << " but is serving scenario " << here
+                 << " ('" << scenario.name << "')";
+      }
+    }
     auto agent = std::make_unique<rl::DqnAgent>(
         env.state_size(), env.num_actions(), rl::DqnParams{});
     // Install the probed network itself, so the weights that were
     // dimension-checked are exactly the weights that run.
-    agent->load_weights(std::move(probe));
+    agent->load_weights(std::move(ckpt.net));
     return std::make_unique<core::OwningDrlController>(
         env.actions(), std::move(agent), "drl[" + ctl.policy_file + "]");
   }

@@ -1,6 +1,8 @@
 #include "scenario/scenario.h"
 
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -129,6 +131,19 @@ void validate_controller(const ControllerSchedule& c) {
   } else if (!c.policy_file.empty() || !c.policy_blob.empty()) {
     fail("controller policy is only meaningful for drl schedules");
   }
+  if (!c.policy_pin.empty()) {
+    if (c.type != "drl") fail("controller pin is only meaningful for drl "
+                              "schedules");
+    bool hex16 = c.policy_pin.size() == 16;
+    for (char ch : c.policy_pin) {
+      hex16 = hex16 && ((ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'f'));
+    }
+    if (!hex16) {
+      fail("controller pin '" + c.policy_pin +
+           "' is not a policy fingerprint (expected 16 lowercase hex "
+           "digits)");
+    }
+  }
   if (c.epoch_cycles == 0) fail("controller epoch_cycles must be > 0");
   if (c.epochs <= 0) fail("controller epochs must be > 0");
 }
@@ -231,6 +246,146 @@ std::vector<noc::NodeId> parse_node_set(const std::string& text,
     for (noc::NodeId n = lo; n <= hi; ++n) append(n);
   }
   return out;
+}
+
+namespace {
+
+/// Order-sensitive FNV-1a accumulation. Every field is hashed through a
+/// fixed textual rendering with a type tag, so two scenarios collide only
+/// when their semantic fields agree — field reordering or adjacent-field
+/// concatenation cannot alias (each token is '\0'-terminated).
+struct ContentHasher {
+  std::uint64_t h = 1469598103934665603ULL;
+
+  void bytes(const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+    h ^= 0;  // terminator byte
+    h *= 1099511628211ULL;
+  }
+  void str(const std::string& s) { bytes(s); }
+  void i64(long long v) { bytes(std::to_string(v)); }
+  void u64(std::uint64_t v) { bytes(std::to_string(v)); }
+  void f64(double v) {
+    // Shortest round-trippable rendering; infinities hash as a token.
+    if (std::isinf(v)) {
+      bytes(v > 0 ? "inf" : "-inf");
+      return;
+    }
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    bytes(os.str());
+  }
+};
+
+}  // namespace
+
+std::uint64_t content_hash(const Scenario& scenario) {
+  ContentHasher hh;
+  hh.str("drlsc-content-1");  // hash-schema version
+  hh.str(scenario.name);
+
+  const noc::NetworkParams& np = scenario.net;
+  hh.str(np.topology);
+  hh.i64(np.width);
+  hh.i64(np.height);
+  hh.str(np.routing);
+  hh.i64(np.max_vcs);
+  hh.i64(np.max_depth);
+  hh.i64(np.flits_per_packet);
+  hh.u64(np.link_latency);
+  hh.i64(np.pipeline_stages);
+  hh.u64(np.seed);
+  hh.i64(np.initial_config.active_vcs);
+  hh.i64(np.initial_config.active_depth);
+  hh.i64(np.initial_config.dvfs_level);
+
+  // Declared tenants only: churned tenants are a pure function of the
+  // [churn] block (hashed below), and hashing them would make the hash
+  // depend on whether churn expansion ran before or after hashing.
+  for (const TenantSpec& t : scenario.tenants) {
+    if (t.churned) continue;
+    hh.str("tenant");
+    hh.str(t.name);
+    hh.str(to_string(t.kind));
+    if (t.kind == WorkloadKind::kTrace && t.trace) {
+      // Traces are hashed by their summary statistics, not their bytes:
+      // cheap, stable across storage format, and specific enough that two
+      // different workloads virtually never agree on all six.
+      const trace::TraceSummary s = t.trace->summary();
+      hh.i64(t.trace->nodes);
+      hh.u64(s.records);
+      hh.u64(s.roots);
+      hh.u64(s.dep_edges);
+      hh.f64(s.span);
+      hh.u64(s.total_flits);
+      hh.f64(t.rate_scale);
+      hh.i64(t.loop ? 1 : 0);
+    }
+    hh.str(t.pattern);
+    hh.str(t.process);
+    hh.f64(t.rate);
+    hh.i64(static_cast<long long>(t.phases.size()));
+    for (const noc::Phase& ph : t.phases) {
+      hh.str(ph.pattern);
+      hh.f64(ph.rate);
+      hh.f64(ph.duration_core_cycles);
+      hh.str(ph.process);
+      hh.i64(ph.flits_per_packet);
+    }
+    hh.f64(t.phase_scale);
+    hh.i64(static_cast<long long>(t.nodes.size()));
+    for (noc::NodeId n : t.nodes) hh.i64(n);
+    hh.f64(t.start);
+    hh.f64(t.stop);
+    hh.str(to_string(t.qos));
+    hh.f64(t.p95_target);
+  }
+
+  hh.f64(scenario.duration);
+  hh.u64(scenario.cycle_limit);
+
+  const noc::FaultParams& fp = scenario.faults;
+  hh.u64(fp.seed);
+  hh.f64(fp.link_fault_rate);
+  hh.u64(fp.retry_timeout);
+  hh.f64(fp.retry_backoff);
+  hh.i64(fp.retry_budget);
+  hh.i64(static_cast<long long>(fp.events.size()));
+  for (const noc::FaultEvent& e : fp.events) {
+    hh.u64(e.at_cycle);
+    hh.i64(static_cast<int>(e.kind));
+    hh.i64(e.node);
+    hh.i64(e.port);
+    hh.i64(e.factor);
+  }
+
+  const ChurnParams& cp = scenario.churn;
+  hh.u64(cp.seed);
+  hh.f64(cp.arrival_rate);
+  hh.f64(cp.horizon);
+  hh.i64(cp.capacity);
+  hh.i64(cp.max_arrivals);
+  hh.i64(static_cast<long long>(cp.templates.size()));
+  for (const ChurnTemplate& t : cp.templates) {
+    hh.i64(t.tenant);
+    hh.f64(t.weight);
+    hh.str(t.lifetime);
+    hh.f64(t.lifetime_mean);
+    hh.f64(t.lifetime_min);
+    hh.f64(t.lifetime_max);
+  }
+  return hh.h;
+}
+
+std::string content_hash_hex(const Scenario& scenario) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(content_hash(scenario)));
+  return std::string(buf);
 }
 
 std::string format_node_set(const std::vector<noc::NodeId>& nodes) {

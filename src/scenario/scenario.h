@@ -51,6 +51,10 @@ struct ControllerSchedule {
   std::string type;  ///< "" = none; drl | heuristic | static-max | static-min
   std::string policy_file;  ///< provenance (drl), relative to the .drlsc
   std::string policy_blob;  ///< trained-policy bytes, loaded eagerly
+  /// Optional 16-hex policy fingerprint (`pin` key / `policy_pin=`): when
+  /// set, the loaded policy's rl::policy_fingerprint must match exactly or
+  /// the run refuses to start — fleets pin the policy version they serve.
+  std::string policy_pin;
   std::uint64_t epoch_cycles = 512;  ///< router cycles between decisions
   int epochs = 48;                   ///< decision epochs per scheduled run
 
@@ -156,5 +160,16 @@ std::vector<noc::NodeId> parse_node_set(const std::string& text,
 
 /// Canonical text of a node set ("all" for empty, ranges recompressed).
 std::string format_node_set(const std::vector<noc::NodeId>& nodes);
+
+/// Deterministic 64-bit content hash of a scenario's *semantic* fields —
+/// the fabric, declared tenants (traces by summary statistics), horizon,
+/// faults, and churn parameters. Excludes the controller block (a policy
+/// checkpoint records this hash, and the policy lives in the controller
+/// block — including it would be circular) and churn-expanded tenants
+/// (derived from [churn], which is hashed). Stable across machines and
+/// loads; used as drlpol training-scenario provenance.
+std::uint64_t content_hash(const Scenario& scenario);
+/// content_hash formatted as 16 lowercase hex digits (drlpol header form).
+std::string content_hash_hex(const Scenario& scenario);
 
 }  // namespace drlnoc::scenario

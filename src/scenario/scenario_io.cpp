@@ -182,6 +182,7 @@ ControllerSchedule parse_controller(const TrackedConfig& c,
   ControllerSchedule ctl;
   ctl.type = c.str("controller.type", "");
   ctl.policy_file = c.str("controller.policy", "");
+  ctl.policy_pin = c.str("controller.pin", "");
   const long long cycles = c.get("controller.epoch_cycles",
                                  static_cast<long long>(ctl.epoch_cycles));
   if (cycles <= 0) {
@@ -451,6 +452,9 @@ void ScenarioWriter::write_text(std::ostream& os, const Scenario& s) {
             "serialising");
       }
       os << "policy = " << s.controller.policy_file << "\n";
+      if (!s.controller.policy_pin.empty()) {
+        os << "pin = " << s.controller.policy_pin << "\n";
+      }
     }
     os << "epoch_cycles = " << s.controller.epoch_cycles << "\n";
     os << "epochs = " << s.controller.epochs << "\n";

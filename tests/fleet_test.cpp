@@ -4,7 +4,9 @@
 // (mixed-radix index mapping, spec rejection with line numbers), result-file
 // round-trips, and the headline resumability contract: a fleet run that is
 // killed mid-way and resumed — at any --jobs count — produces a scorecard
-// byte-identical to an uninterrupted run. Also covers the
+// byte-identical to an uninterrupted run. PR 10 adds policy versioning:
+// drl fleets record the served rl::policy_fingerprint in every result file
+// and a stale policy_pin is refused up front. Also covers the
 // core::summarize_metric edge cases (n = 0/1, zero variance, NaN rejection)
 // that the scorecard aggregation leans on.
 #include <gtest/gtest.h>
@@ -13,16 +15,21 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/env_noc.h"
 #include "core/parallel.h"
 #include "fleet/fleet.h"
 #include "fleet/scenario_space.h"
 #include "fleet/scorecard.h"
+#include "rl/dqn.h"
+#include "rl/policy_io.h"
 #include "scenario/churn.h"
 #include "scenario/scenario.h"
 #include "scenario/scenario_io.h"
@@ -613,6 +620,97 @@ TEST(FleetScorecard, QuantileAndWorstRanking) {
   EXPECT_EQ(card.worst[1].index, 2u);
   ASSERT_EQ(card.classes.count("latency_critical"), 1u);
   EXPECT_EQ(card.classes.at("latency_critical").worst_slo_hit_rate, 0.5);
+}
+
+// ---------------------------------------------------- policy versioning ---
+
+/// A small DqnAgent checkpoint dimensioned for `space` under the aggregate
+/// feature set `tiny_params` runs with (the only mode a fixed policy can
+/// span a fleet in).
+std::string tiny_policy_blob(const fleet::ScenarioSpace& space) {
+  core::NocEnvParams ep;
+  ep.scenario =
+      std::make_shared<scenario::Scenario>(space.expand(0).scenario);
+  ep.net.seed = ep.scenario->net.seed;
+  ep.scenario_qos = false;
+  ep.epoch_cycles = 128;
+  ep.epochs_per_episode = 2;
+  core::NocConfigEnv probe(ep);
+
+  rl::DqnParams dp;
+  dp.hidden = {8};
+  dp.min_replay = 4;
+  dp.batch_size = 2;
+  rl::DqnAgent agent(probe.state_size(), probe.num_actions(), dp);
+  std::ostringstream os;
+  agent.save(os);
+  return os.str();
+}
+
+TEST(FleetPolicy, ResultFilesRecordTheServedVersion) {
+  const std::string dir = ::testing::TempDir() + "fleet_policy_ver";
+  const fleet::ScenarioSpace space = tiny_space(dir);
+  fleet::FleetParams params = tiny_params(dir + "/res");
+  params.controller = "drl";
+  params.policy_file = "tiny.drlpol";
+  params.policy_blob = tiny_policy_blob(space);
+  const std::string version = rl::policy_fingerprint(params.policy_blob);
+  params.policy_pin = version;  // correct pin: the run must go through
+
+  fleet::run_fleet(space, params, core::ExperimentRunner(1));
+  const std::vector<fleet::FleetScenarioResult> results =
+      fleet::load_results(space, params);
+  ASSERT_EQ(results.size(), space.size());
+  for (const fleet::FleetScenarioResult& r : results) {
+    EXPECT_EQ(r.policy_version, version) << r.label;
+  }
+
+  // The key round-trips through the file verbatim.
+  const std::string path = fleet::result_path(
+      params.results_dir, 0, fleet::result_key(space, 0, params));
+  const auto reread = fleet::read_result_file(path);
+  ASSERT_TRUE(reread.has_value());
+  EXPECT_EQ(reread->policy_version, version);
+
+  // Policy-free results omit the key entirely, keeping their files
+  // byte-compatible with the pre-versioning format.
+  fleet::FleetParams heur = tiny_params(dir + "/res_heur");
+  fleet::run_fleet(space, heur, core::ExperimentRunner(1));
+  const std::string heur_path = fleet::result_path(
+      heur.results_dir, 0, fleet::result_key(space, 0, heur));
+  std::ifstream in(heur_path);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.find("policy_version"), std::string::npos);
+  const auto heur_result = fleet::read_result_file(heur_path);
+  ASSERT_TRUE(heur_result.has_value());
+  EXPECT_TRUE(heur_result->policy_version.empty());
+}
+
+TEST(FleetPolicy, PinRejectionMessages) {
+  const std::string dir = ::testing::TempDir() + "fleet_policy_pin";
+  const fleet::ScenarioSpace space = tiny_space(dir);
+
+  // A stale pin is refused before any scenario runs.
+  fleet::FleetParams params = tiny_params(dir + "/res");
+  params.controller = "drl";
+  params.policy_blob = tiny_policy_blob(space);
+  params.policy_pin = "0000000000000000";
+  const std::string msg = rejection(
+      [&] { fleet::run_fleet(space, params, core::ExperimentRunner(1)); });
+  EXPECT_NE(msg.find("does not match the pinned version"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("0000000000000000"), std::string::npos) << msg;
+
+  // Pinning a policy-free controller is a config contradiction, not a no-op.
+  fleet::FleetParams heur = tiny_params(dir + "/res2");
+  heur.policy_pin = "0000000000000000";
+  EXPECT_NE(
+      rejection([&] {
+        fleet::run_fleet(space, heur, core::ExperimentRunner(1));
+      }).find("policy_pin is only meaningful with controller=drl"),
+      std::string::npos);
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include "fleet/scenario_space.h"
 #include "fleet/scorecard.h"
 #include "obs/session.h"
+#include "rl/policy_io.h"
 #include "scenario/scenario_io.h"
 #include "util/config.h"
 #include "util/log.h"
@@ -38,7 +39,8 @@ constexpr const char* kUsage =
     "  describe spec=X\n"
     "  generate spec=X out=DIR [count=N]\n"
     "  run      spec=X results=DIR [controller=heuristic|static-max|\n"
-    "           static-min|drl] [policy=FILE] [epochs=N] [epoch_cycles=N]\n"
+    "           static-min|drl] [policy=FILE] [policy_pin=HEX16]\n"
+    "           [epochs=N] [epoch_cycles=N]\n"
     "           [qos_features=0|1] [shard=I] [shards=N] [jobs=J]\n"
     "  resume   (alias of run; completed scenarios are skipped)\n"
     "  score    spec=X results=DIR out=FILE [worst=K] [--metrics-out=DIR]\n"
@@ -70,17 +72,21 @@ int help(const std::string& command) {
   } else if (command == "run" || command == "resume") {
     std::cout
         << "fleetctl run spec=X results=DIR [controller=...] [policy=FILE]\n"
-           "            [epochs=N] [epoch_cycles=N] [qos_features=0|1]\n"
-           "            [shard=I] [shards=N] [jobs=J]\n"
+           "            [policy_pin=HEX16] [epochs=N] [epoch_cycles=N]\n"
+           "            [qos_features=0|1] [shard=I] [shards=N] [jobs=J]\n"
            "Evaluate the controller across this shard's slice of the\n"
            "space (index % shards == shard), one result file per scenario\n"
            "under DIR, in parallel across J jobs (results bit-identical at\n"
            "any J). Scenarios whose result file already exists are skipped,\n"
            "so a killed run resumes where it stopped — `resume` is the\n"
            "same command under the honest name. controller=drl requires\n"
-           "policy=FILE (a DqnAgent::save artifact); qos_features=1 uses\n"
-           "per-tenant QoS feature slices (the state size then depends on\n"
-           "the tenant count — only for policies trained that way).\n";
+           "policy=FILE (a DqnAgent::save artifact); policy_pin=HEX16\n"
+           "refuses to run unless the policy's fingerprint (printed by\n"
+           "scenarioctl train and by this command) matches, and every\n"
+           "result file records the served version as policy_version=.\n"
+           "qos_features=1 uses per-tenant QoS feature slices (the state\n"
+           "size then depends on the tenant count — only for policies\n"
+           "trained that way).\n";
   } else if (command == "score") {
     std::cout
         << "fleetctl score spec=X results=DIR out=FILE [worst=K]\n"
@@ -131,6 +137,7 @@ fleet::FleetParams params_from(const util::Config& cfg) {
     ss << in.rdbuf();
     p.policy_blob = ss.str();
   }
+  p.policy_pin = cfg.get("policy_pin", std::string());
   const long long cycles =
       cfg.get("epoch_cycles", static_cast<long long>(p.epoch_cycles));
   if (cycles <= 0) {
@@ -220,6 +227,16 @@ int cmd_generate(const util::Config& cfg) {
 int cmd_run(const util::Config& cfg) {
   const fleet::ScenarioSpace space = load_space(cfg);
   const fleet::FleetParams params = params_from(cfg);
+  if (params.controller == "drl") {
+    // Say which policy version this fleet serves before any work starts;
+    // with policy_pin= a mismatch aborts inside run_fleet's first build.
+    std::cout << "policy version "
+              << rl::policy_fingerprint(params.policy_blob)
+              << (params.policy_pin.empty() ? ""
+                                            : " (pinned " + params.policy_pin +
+                                                  ")")
+              << "\n";
+  }
   const core::ExperimentRunner runner(cfg.get("jobs", 0));
   const fleet::FleetRunOutcome outcome =
       fleet::run_fleet(space, params, runner);

@@ -1,8 +1,10 @@
-// scenarioctl: validate, describe, and run multi-tenant `.drlsc` scenarios.
+// scenarioctl: validate, describe, run, and train on multi-tenant `.drlsc`
+// scenarios.
 //
 //   scenarioctl validate file=mix.drlsc
 //   scenarioctl describe file=mix.drlsc
 //   scenarioctl run      file=mix.drlsc [cycle_limit=N] [duration=T] [seed=S]
+//   scenarioctl train    file=mix.drlsc out=policy.drlpol [episodes=N]
 //
 // The `.drlsc` format is documented in src/scenario/scenario_io.h. `run`
 // executes the scenario on its fabric and prints aggregate plus per-tenant
@@ -15,10 +17,16 @@
 // policy evaluations (epochs=/epoch_cycles= override the schedule;
 // cycle_limit/duration do not apply) and exit 0 whenever they complete.
 #include <cmath>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "core/env_noc.h"
+#include "core/trainer.h"
 #include "obs/session.h"
+#include "rl/dqn.h"
+#include "rl/policy_io.h"
 #include "scenario/runtime.h"
 #include "scenario/scenario_io.h"
 #include "util/config.h"
@@ -30,7 +38,7 @@ using namespace drlnoc;
 namespace {
 
 constexpr const char* kUsage =
-    "usage: scenarioctl <validate|describe|run> file=X [key=value...]\n"
+    "usage: scenarioctl <validate|describe|run|train> file=X [key=value...]\n"
     "  validate file=X\n"
     "  describe file=X\n"
     "  run      file=X [cycle_limit=N] [duration=T] [seed=S]\n"
@@ -38,7 +46,10 @@ constexpr const char* kUsage =
     "           [fault_backoff=B] [fault_budget=N]\n"
     "           [--trace-out=F] [--metrics-out=F] [--trace-sample=P]\n"
     "           [--trace-capacity=N]\n"
-    "           (scheduled: [epochs=N] [epoch_cycles=N])\n"
+    "           (scheduled: [epochs=N] [epoch_cycles=N] [pin=HEX16])\n"
+    "  train    file=X out=F [episodes=N] [round=N] [actors=N]\n"
+    "           [eval_every=N] [seed=S] [epochs=N] [epoch_cycles=N]\n"
+    "           [qos_features=0|1]\n"
     "Common: [--log=debug|info|warn|error|off] (or DRLNOC_LOG env var).\n"
     "Pass --help after a subcommand for its full option list; the .drlsc\n"
     "format is specified in docs/FORMATS.md.\n";
@@ -81,6 +92,9 @@ int help(const std::string& command) {
            "reporting per-tenant latency and SLO hit rates; epochs= and\n"
            "epoch_cycles= override the schedule, cycle_limit/duration do\n"
            "not apply, and completion exits 0.\n"
+           "For a drl schedule, pin=HEX16 overrides the file's `pin` key:\n"
+           "the run refuses to start unless the policy file's fingerprint\n"
+           "(rl::policy_fingerprint, printed by `train`) matches.\n"
            "Observability (see docs/OBSERVABILITY.md): --trace-out=F writes\n"
            "a Chrome trace-event JSON of sampled packet lifecycles and\n"
            "scenario/fault/config events (open in Perfetto);\n"
@@ -89,6 +103,24 @@ int help(const std::string& command) {
            "per-epoch metrics JSON (plus profiler phase timings) and a\n"
            "per-router link-utilization heatmap CSV next to it. Observers\n"
            "never change simulation results.\n";
+  } else if (command == "train") {
+    std::cout
+        << "scenarioctl train file=X out=F [episodes=N] [round=N]\n"
+           "                 [actors=N] [eval_every=N] [seed=S]\n"
+           "                 [epochs=N] [epoch_cycles=N] [qos_features=0|1]\n"
+           "Train a DQN policy on the scenario's epoch MDP with the\n"
+           "multi-actor collector (core::train_dqn_parallel) and save a\n"
+           "versioned `drlpol 1` checkpoint to F, stamped with the\n"
+           "scenario's content hash and the building commit. `round` is\n"
+           "part of the experiment definition (like a seed); `actors` is\n"
+           "purely the worker-thread count — results are bit-identical at\n"
+           "any value (0 = one per hardware thread). epochs=/epoch_cycles=\n"
+           "override the decision schedule (defaults: the [controller]\n"
+           "block when present, else 24 x 512). qos_features=1 (default)\n"
+           "trains with per-tenant QoS feature slices as scheduled runs\n"
+           "use; pass qos_features=0 for a policy a fleet (aggregate\n"
+           "features) can serve. Prints the policy version (the checkpoint\n"
+           "fingerprint) to pin in runs and fleets.\n";
   } else {
     std::cout << kUsage;
   }
@@ -266,6 +298,94 @@ void apply_fault_overrides(const util::Config& cfg, scenario::Scenario& s) {
   s.faults.retry_budget = cfg.get("fault_budget", s.faults.retry_budget);
 }
 
+/// `train`: multi-actor DQN training on the scenario's epoch MDP, saving a
+/// versioned policy checkpoint stamped with the scenario content hash and
+/// the building commit. The printed fingerprint is the policy version to
+/// pin (scenarioctl run pin= / fleetctl policy_pin=).
+int cmd_train(const util::Config& cfg) {
+  const std::string path = cfg.get("file", std::string());
+  const std::string out = cfg.get("out", std::string());
+  if (path.empty() || out.empty()) return usage();
+  const scenario::Scenario s = scenario::ScenarioReader::read_file(path);
+
+  // Decision schedule: the [controller] block when present, else the fleet
+  // defaults; overridable either way.
+  const long long cycles = cfg.get(
+      "epoch_cycles",
+      static_cast<long long>(
+          s.controller.scheduled() ? s.controller.epoch_cycles : 512));
+  if (cycles <= 0) {
+    LOG_ERROR << "scenarioctl: epoch_cycles must be > 0";
+    return 2;
+  }
+  const int epochs =
+      cfg.get("epochs", s.controller.scheduled() ? s.controller.epochs : 24);
+  if (epochs <= 0) {
+    LOG_ERROR << "scenarioctl: epochs must be > 0";
+    return 2;
+  }
+
+  core::NocEnvParams ep;
+  ep.scenario = std::make_shared<scenario::Scenario>(s);
+  ep.net.seed = s.net.seed;
+  ep.epoch_cycles = static_cast<std::uint64_t>(cycles);
+  ep.epochs_per_episode = epochs;
+  // Per-tenant QoS feature slices (the scheduled-run default) scale the
+  // state with the tenant count; train with qos_features=0 for a policy a
+  // fleet (aggregate features) can serve.
+  ep.scenario_qos = cfg.get("qos_features", ep.scenario_qos);
+
+  core::ParallelTrainParams tp;
+  tp.episodes = cfg.get("episodes", tp.episodes);
+  tp.round = cfg.get("round", tp.round);
+  tp.actors = cfg.get("actors", tp.actors);
+  tp.eval_every = cfg.get("eval_every", tp.eval_every);
+  tp.verbose = true;
+
+  // The experiment-wide hyper-parameters (bench/bench_common.h's
+  // standard_dqn), sized to the training horizon.
+  rl::DqnParams dp;
+  dp.hidden = {64, 64};
+  dp.gamma = 0.9;
+  dp.lr = 1e-3;
+  dp.min_replay = 128;
+  dp.batch_size = 32;
+  dp.target_sync_every = 250;
+  dp.double_dqn = true;
+  dp.epsilon_decay_steps = static_cast<std::uint64_t>(tp.episodes) *
+                           static_cast<std::uint64_t>(epochs) * 3 / 4;
+  dp.seed = static_cast<std::uint64_t>(cfg.get("seed", 7LL));
+
+  // A throwaway env just for the observation/action dimensions; training
+  // builds its own calibrated lanes.
+  core::NocConfigEnv probe(ep);
+  rl::DqnAgent agent(probe.state_size(), probe.num_actions(), dp);
+  const core::TrainResult r = core::train_dqn_parallel(ep, agent, tp);
+
+  rl::PolicyMeta meta;
+  meta.scenario_hash = scenario::content_hash_hex(s);
+  meta.git = DRLNOC_GIT_DESCRIBE;
+  std::ostringstream blob;
+  agent.save(blob, meta);
+  {
+    std::ofstream os(out, std::ios::binary);
+    if (!os || !(os << blob.str()).flush()) {
+      LOG_ERROR << "scenarioctl: cannot write " << out;
+      return 1;
+    }
+  }
+  const double final_return =
+      r.episode_returns.empty() ? 0.0 : r.episode_returns.back();
+  std::cout << "trained '" << s.name << "': " << tp.episodes << " episodes x "
+            << epochs << " epochs (round " << tp.round << "), final return "
+            << util::fmt(final_return, 2) << "\n"
+            << "wrote " << out << " (scenario hash " << meta.scenario_hash
+            << ", git " << meta.git << ")\n"
+            << "policy version " << rl::policy_fingerprint(blob.str())
+            << "  # pin with scenarioctl run pin= / fleetctl policy_pin=\n";
+  return 0;
+}
+
 int cmd_run(const util::Config& cfg) {
   const std::string path = cfg.get("file", std::string());
   if (path.empty()) return usage();
@@ -288,6 +408,7 @@ int cmd_run(const util::Config& cfg) {
     }
     s.controller.epoch_cycles = static_cast<std::uint64_t>(cycles);
     s.controller.epochs = cfg.get("epochs", s.controller.epochs);
+    s.controller.policy_pin = cfg.get("pin", s.controller.policy_pin);
     s.validate();  // overrides may have broken the schedule
     const int rc = run_with_schedule(s, session);
     if (!session.finish() && rc == 0) return 1;
@@ -365,6 +486,7 @@ int main(int argc, char** argv) {
     if (command == "validate") return cmd_validate(cfg);
     if (command == "describe") return cmd_describe(cfg);
     if (command == "run") return cmd_run(cfg);
+    if (command == "train") return cmd_train(cfg);
     LOG_ERROR << "scenarioctl: unknown command '" << command << "'";
     return usage();
   } catch (const std::exception& e) {
